@@ -1,0 +1,230 @@
+package boundschema_test
+
+import (
+	"bufio"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The CLI integration suite builds the real binaries once and drives them
+// over the testdata corpus, covering the flag parsing and I/O glue the
+// unit tests cannot reach.
+
+var cliDir string
+
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	if cliDir != "" {
+		return cliDir
+	}
+	dir, err := os.MkdirTemp("", "boundschema-cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tool := range []string{"bschema", "bsgen", "bsbench", "bsd"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	cliDir = dir
+	return dir
+}
+
+func runCLI(t *testing.T, name string, args ...string) (string, error) {
+	t.Helper()
+	dir := buildCLIs(t)
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCLICheckLegalAndIllegal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	out, err := runCLI(t, "bschema", "check",
+		"-schema", "testdata/whitepages.bs", "-instance", "testdata/figure1.ldif")
+	if err != nil || !strings.Contains(out, "legal") {
+		t.Fatalf("check legal: %v\n%s", err, out)
+	}
+	out, err = runCLI(t, "bschema", "check",
+		"-schema", "testdata/whitepages.bs", "-instance", "testdata/figure1-broken.ldif")
+	if err == nil {
+		t.Fatalf("broken instance exited zero:\n%s", out)
+	}
+	if !strings.Contains(out, "violation") {
+		t.Fatalf("missing violation report:\n%s", out)
+	}
+}
+
+func TestCLIConsistentAndWitness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	witness := filepath.Join(t.TempDir(), "w.ldif")
+	out, err := runCLI(t, "bschema", "consistent",
+		"-schema", "testdata/whitepages.bs", "-witness", witness)
+	if err != nil || !strings.Contains(out, "consistent=true") {
+		t.Fatalf("consistent: %v\n%s", err, out)
+	}
+	// The witness must itself pass check.
+	out, err = runCLI(t, "bschema", "check",
+		"-schema", "testdata/whitepages.bs", "-instance", witness)
+	if err != nil {
+		t.Fatalf("witness check: %v\n%s", err, out)
+	}
+	// The cycle schema must fail with an explanation.
+	out, err = runCLI(t, "bschema", "consistent",
+		"-schema", "testdata/cycle.bs", "-explain")
+	if err == nil {
+		t.Fatalf("inconsistent schema exited zero:\n%s", out)
+	}
+	if !strings.Contains(out, "∅⇓") {
+		t.Fatalf("missing derivation:\n%s", out)
+	}
+}
+
+func TestCLIApplyAndPipe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	corpus := filepath.Join(tmp, "corpus.ldif")
+	out, err := runCLI(t, "bsgen", "corpus", "-n", "300")
+	if err != nil {
+		t.Fatalf("bsgen corpus: %v", err)
+	}
+	if err := os.WriteFile(corpus, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	changes := filepath.Join(tmp, "changes.ldif")
+	out, err = runCLI(t, "bsgen", "updates", "-n", "8", "-corpus", corpus)
+	if err != nil {
+		t.Fatalf("bsgen updates: %v", err)
+	}
+	if err := os.WriteFile(changes, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	updated := filepath.Join(tmp, "updated.ldif")
+	out, err = runCLI(t, "bschema", "apply",
+		"-schema", "testdata/whitepages.bs", "-instance", corpus,
+		"-changes", changes, "-counts", "-o", updated)
+	if err != nil {
+		t.Fatalf("apply: %v\n%s", err, out)
+	}
+	out, err = runCLI(t, "bschema", "check",
+		"-schema", "testdata/whitepages.bs", "-instance", updated)
+	if err != nil {
+		t.Fatalf("updated corpus illegal: %v\n%s", err, out)
+	}
+	// Bad changes are rejected with nonzero exit.
+	out, err = runCLI(t, "bschema", "apply",
+		"-schema", "testdata/whitepages.bs", "-instance", "testdata/figure1.ldif",
+		"-changes", "testdata/changes-bad.ldif")
+	if err == nil {
+		t.Fatalf("bad changes exited zero:\n%s", out)
+	}
+	if !strings.Contains(out, "rejected") {
+		t.Fatalf("missing rejection message:\n%s", out)
+	}
+}
+
+func TestCLIQueryAndSearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	out, err := runCLI(t, "bschema", "query",
+		"-instance", "testdata/figure1.ldif", "-explain",
+		"-q", "(desc (select (objectClass=orgGroup)) (select (objectClass=person)))")
+	if err != nil {
+		t.Fatalf("query: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "o=att") || !strings.Contains(out, "total operand work") {
+		t.Fatalf("query output:\n%s", out)
+	}
+	out, err = runCLI(t, "bschema", "search",
+		"-instance", "testdata/figure1.ldif",
+		"-filter", "(&(objectClass=person)(mail=*))")
+	if err != nil {
+		t.Fatalf("search: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "uid=laks") {
+		t.Fatalf("search output:\n%s", out)
+	}
+}
+
+func TestCLIFormatRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	out, err := runCLI(t, "bschema", "format", "-schema", "testdata/whitepages.bs")
+	if err != nil {
+		t.Fatalf("format: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "schema whitepages {") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}
+
+func TestCLIServerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	dir := buildCLIs(t)
+	cmd := exec.Command(filepath.Join(dir, "bsd"),
+		"-schema", "testdata/whitepages.bs",
+		"-instance", "testdata/figure1.ldif",
+		"-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	// The daemon prints "bsd: serving ... on ADDR".
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.LastIndex(line, " on "); i >= 0 {
+			addr = strings.TrimSpace(line[i+4:])
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listen address announced")
+	}
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("SEARCH (objectClass=orgUnit)\nQUIT\n")); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	var lines []string
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			break
+		}
+		lines = append(lines, strings.TrimSpace(line))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "ou=attLabs,o=att") || !strings.Contains(joined, "OK") {
+		t.Fatalf("server dialogue:\n%s", joined)
+	}
+}

@@ -1,0 +1,115 @@
+// Bsd is a small directory server enforcing a bounding-schema: every
+// update transaction is validated with the paper's incremental legality
+// tests (Figure 5) and rejected atomically on violation, so the served
+// instance is legal at all times.
+//
+// Usage:
+//
+//	bsd -schema wp.bs -instance corpus.ldif [-addr 127.0.0.1:3890]
+//	    [-snapshot out.ldif] [-journal changes.ldif]
+//
+// Protocol (line-oriented over TCP; every response ends with OK, ILLEGAL
+// or ERR):
+//
+//	SEARCH (objectClass=person) [base=ou=eng,o=corp]
+//	QUERY (minus (select (objectClass=orgGroup)) ...)
+//	GET uid=ada,ou=eng,o=corp
+//	BEGIN
+//	ADD uid=new,ou=eng,o=corp
+//	objectClass: person
+//	objectClass: top
+//	name: New Person
+//	DELETE uid=old,ou=eng,o=corp
+//	COMMIT
+//	CHECK | CONSISTENT | SCHEMA | STAT | QUIT
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"boundschema"
+	"boundschema/internal/server"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "", "schema definition file")
+	instPath := flag.String("instance", "", "initial LDIF instance (empty starts blank)")
+	addr := flag.String("addr", "127.0.0.1:3890", "listen address")
+	snapshot := flag.String("snapshot", "", "write the instance as LDIF on shutdown")
+	journal := flag.String("journal", "", "replay and append committed transactions to this LDIF change log")
+	flag.Parse()
+	if *schemaPath == "" {
+		fmt.Fprintln(os.Stderr, "bsd: -schema is required")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		fatal(err)
+	}
+	schema, name, err := boundschema.ParseSchema(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	res := boundschema.CheckConsistency(schema)
+	if !res.Consistent {
+		fmt.Fprintf(os.Stderr, "bsd: schema %s is inconsistent:\n%s", name, res.Explanation)
+		os.Exit(1)
+	}
+
+	dir := boundschema.NewDirectory(schema.Registry)
+	if *instPath != "" {
+		f, err := os.Open(*instPath)
+		if err != nil {
+			fatal(err)
+		}
+		dir, err = boundschema.ReadLDIF(f, schema.Registry)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	srv, err := server.New(schema, name, dir)
+	if err != nil {
+		fatal(err)
+	}
+	if *journal != "" {
+		if err := srv.OpenJournal(*journal); err != nil {
+			fatal(err)
+		}
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bsd: serving schema %s (%d entries) on %s\n", name, dir.Len(), bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("bsd: shutting down")
+	if *snapshot != "" {
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		if err := srv.Snapshot(w); err != nil {
+			fatal(err)
+		}
+		w.Flush()
+		f.Close()
+		fmt.Printf("bsd: snapshot written to %s\n", *snapshot)
+	}
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bsd: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+// Bsgen generates synthetic workloads for the bounding-schema tool chain:
+// the paper's white-pages schema and instance, scalable white-pages-shaped
+// corpora, LDIF update streams, and random schemas for consistency
+// experiments.
+//
+// Usage:
+//
+//	bsgen schema                 > whitepages.bs
+//	bsgen figure1                > figure1.ldif
+//	bsgen corpus  -n 10000       > corpus.ldif
+//	bsgen updates -n 50 -corpus corpus.ldif > changes.ldif
+//	bsgen randschema -classes 20 -required 10 -forbidden 5 > rand.bs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"boundschema"
+	"boundschema/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "schema":
+		fmt.Print(boundschema.FormatSchema(workload.WhitePagesSchema(), "whitepages"))
+	case "figure1":
+		s := workload.WhitePagesSchema()
+		err = boundschema.WriteLDIF(os.Stdout, workload.WhitePagesInstance(s))
+	case "corpus":
+		err = cmdCorpus(os.Args[2:])
+	case "updates":
+		err = cmdUpdates(os.Args[2:])
+	case "randschema":
+		err = cmdRandSchema(os.Args[2:])
+	default:
+		fmt.Fprintf(os.Stderr, "bsgen: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bsgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: bsgen <command> [flags]
+
+commands:
+  schema      print the paper's white-pages bounding-schema
+  figure1     print the Figure 1 instance as LDIF
+  corpus      generate a legal white-pages-shaped corpus
+  updates     generate an LDIF change stream for a corpus
+  randschema  generate a random bounding-schema`)
+}
+
+func cmdCorpus(args []string) error {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	n := fs.Int("n", 1000, "approximate number of entries")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	s := workload.WhitePagesSchema()
+	d := workload.Corpus(s, rand.New(rand.NewSource(*seed)), *n)
+	return boundschema.WriteLDIF(os.Stdout, d)
+}
+
+func cmdUpdates(args []string) error {
+	fs := flag.NewFlagSet("updates", flag.ExitOnError)
+	n := fs.Int("n", 20, "number of change records")
+	seed := fs.Int64("seed", 1, "random seed")
+	corpusPath := fs.String("corpus", "", "corpus the updates target (for delete DNs)")
+	fs.Parse(args)
+	s := workload.WhitePagesSchema()
+
+	var d *boundschema.Directory
+	if *corpusPath != "" {
+		f, err := os.Open(*corpusPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		d, err = boundschema.ReadLDIF(f, s.Registry)
+		if err != nil {
+			return err
+		}
+	} else {
+		d = workload.WhitePagesInstance(s)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	groups := d.ClassEntries("orgGroup")
+	persons := d.ClassEntries("person")
+	for i := 0; i < *n; i++ {
+		if rng.Intn(3) != 0 || len(persons) == 0 {
+			parent := groups[rng.Intn(len(groups))]
+			unit := fmt.Sprintf("ou=gen%d,%s", i, parent.DN())
+			fmt.Printf("dn: %s\nchangetype: add\nobjectClass: orgUnit\nobjectClass: orgGroup\nobjectClass: top\n\n", unit)
+			fmt.Printf("dn: uid=genp%d,%s\nchangetype: add\nobjectClass: person\nobjectClass: top\nname: generated %d\n\n", i, unit, i)
+		} else {
+			k := rng.Intn(len(persons))
+			victim := persons[k]
+			if victim.IsLeaf() {
+				fmt.Printf("dn: %s\nchangetype: delete\n\n", victim.DN())
+				persons = append(persons[:k], persons[k+1:]...)
+			}
+		}
+	}
+	return nil
+}
+
+func cmdRandSchema(args []string) error {
+	fs := flag.NewFlagSet("randschema", flag.ExitOnError)
+	classes := fs.Int("classes", 10, "number of core classes")
+	required := fs.Int("required", 6, "number of required relationships")
+	forbidden := fs.Int("forbidden", 3, "number of forbidden relationships")
+	reqClasses := fs.Int("reqclasses", 2, "number of required classes")
+	seed := fs.Int64("seed", 1, "random seed")
+	deep := fs.Bool("deep", true, "bias toward deep hierarchies")
+	fs.Parse(args)
+	s := workload.RandomSchema(rand.New(rand.NewSource(*seed)), workload.SchemaConfig{
+		Classes:         *classes,
+		Required:        *required,
+		Forbidden:       *forbidden,
+		RequiredClasses: *reqClasses,
+		Deep:            *deep,
+	})
+	fmt.Print(boundschema.FormatSchema(s, fmt.Sprintf("rand%d", *seed)))
+	return nil
+}

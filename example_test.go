@@ -1,0 +1,115 @@
+package boundschema_test
+
+import (
+	"fmt"
+
+	"boundschema"
+)
+
+const exampleSchema = `
+schema team {
+  attribute name: string
+  attribute mail: string
+  class group extends top { }
+  class person extends top {
+    aux online
+    requires name
+  }
+  auxclass online { allows mail }
+  require class group
+  require group descendant person
+  forbid person child top
+}`
+
+// Example shows the core loop: parse a schema, build an instance, check
+// legality.
+func Example() {
+	schema, name, err := boundschema.ParseSchema(exampleSchema)
+	if err != nil {
+		panic(err)
+	}
+	dir := boundschema.NewDirectory(schema.Registry)
+	eng, _ := dir.AddRoot("ou=eng", "group", "top")
+	ada, _ := dir.AddChild(eng, "uid=ada", "person", "top")
+	ada.AddValue("name", boundschema.String("Ada Lovelace"))
+
+	fmt.Println(name, "legal:", boundschema.Check(schema, dir).Legal())
+	// Output: team legal: true
+}
+
+// ExampleCheck shows a violation report: the person lacks its required
+// name attribute.
+func ExampleCheck() {
+	schema, _, _ := boundschema.ParseSchema(exampleSchema)
+	dir := boundschema.NewDirectory(schema.Registry)
+	eng, _ := dir.AddRoot("ou=eng", "group", "top")
+	dir.AddChild(eng, "uid=anon", "person", "top")
+
+	report := boundschema.Check(schema, dir)
+	fmt.Println(report)
+	// Output: 1 violation(s)
+	//   missing-attribute at uid=anon,ou=eng: class person requires attribute name
+}
+
+// ExampleApplier shows atomic rejection: deleting the only person would
+// break the lower bound "group descendant person", so nothing happens.
+func ExampleApplier() {
+	schema, _, _ := boundschema.ParseSchema(exampleSchema)
+	dir := boundschema.NewDirectory(schema.Registry)
+	eng, _ := dir.AddRoot("ou=eng", "group", "top")
+	ada, _ := dir.AddChild(eng, "uid=ada", "person", "top")
+	ada.AddValue("name", boundschema.String("Ada"))
+
+	app := boundschema.NewApplier(schema)
+	tx := &boundschema.Transaction{}
+	tx.Delete("uid=ada,ou=eng")
+	report, _ := app.Apply(dir, tx)
+	fmt.Println("accepted:", report.Legal(), "entries:", dir.Len())
+	// Output: accepted: false entries: 2
+}
+
+// ExampleCheckConsistency shows the Section 5 analysis on the paper's
+// inconsistent cycle: c1 must exist, every c1 needs a c2 child, every c2
+// needs a c1 descendant — no finite instance can satisfy all three.
+func ExampleCheckConsistency() {
+	schema := boundschema.NewSchema()
+	schema.Classes.AddCore("c1", boundschema.ClassTop)
+	schema.Classes.AddCore("c2", boundschema.ClassTop)
+	schema.Structure.RequireClass("c1")
+	schema.Structure.RequireRel("c1", boundschema.AxisChild, "c2")
+	schema.Structure.RequireRel("c2", boundschema.AxisDesc, "c1")
+
+	res := boundschema.CheckConsistency(schema)
+	fmt.Println("consistent:", res.Consistent)
+	// Output: consistent: false
+}
+
+// ExampleMaterialize shows constructive consistency: a witness instance
+// is built for any consistent schema.
+func ExampleMaterialize() {
+	schema, _, _ := boundschema.ParseSchema(exampleSchema)
+	witness, err := boundschema.Materialize(schema)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("witness legal:", boundschema.Check(schema, witness).Legal(),
+		"entries:", witness.Len())
+	// Output: witness legal: true entries: 2
+}
+
+// ExamplePlanEvolution classifies schema changes by the revalidation
+// they demand (Section 6.2).
+func ExamplePlanEvolution() {
+	old, _, _ := boundschema.ParseSchema(exampleSchema)
+	new := old.Clone()
+	new.Attrs.Allow("person", "homePage") // lightweight
+	new.Attrs.Require("group", "name")    // needs a content recheck
+
+	plan := boundschema.PlanEvolution(old, new)
+	fmt.Println("lightweight:", plan.Lightweight())
+	fmt.Print(plan)
+	// Output: lightweight: false
+	// lightweight      class group now allows attribute name
+	// lightweight      class person now allows attribute homePage
+	// content-recheck  class group now requires attribute name
+}

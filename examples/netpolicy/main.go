@@ -1,0 +1,147 @@
+// Netpolicy models a directory-enabled-networks (DEN) style directory —
+// the second application domain the paper's introduction motivates:
+// network resources and policies stored beside white-pages data, where
+// the native LDAP schema cannot "prohibit a person entry from also
+// belonging to the auxiliary object class packetRouter" or constrain
+// where policies live in the tree. Bounding-schemas can.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"boundschema"
+)
+
+const schemaSrc = `
+schema netpolicy {
+  attribute name: string
+  attribute ipAddress: string
+  attribute bandwidth: integer
+  attribute action: string
+  attribute priority: single integer
+
+  class adminDomain extends top {
+    requires name
+  }
+  class netElement extends top { }
+  class host extends netElement {
+    aux packetRouter
+    requires ipAddress
+  }
+  class subnet extends netElement {
+    requires name
+  }
+  class policy extends top {
+    requires action
+    allows priority
+  }
+  class person extends top {
+    requires name
+  }
+  auxclass packetRouter {
+    allows bandwidth
+  }
+
+  // Section 6.1: IP addresses are keys — unique across the whole
+  // directory, not per class.
+  key ipAddress
+
+  require class adminDomain
+  // Policies only make sense inside an administrative domain.
+  require policy ancestor adminDomain
+  // Every subnet contains at least one host.
+  require subnet descendant host
+  // Hosts are leaves; domains do not nest.
+  forbid host child top
+  forbid adminDomain descendant adminDomain
+  // People never live under network elements.
+  forbid netElement descendant person
+}
+`
+
+func main() {
+	schema, _, err := boundschema.ParseSchema(schemaSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := boundschema.CheckConsistency(schema)
+	fmt.Printf("netpolicy schema consistent: %v (%d facts)\n", res.Consistent, res.Facts)
+
+	dir := boundschema.NewDirectory(schema.Registry)
+	dom := mustAdd(dir, "", "o=backbone", "adminDomain", "top")
+	dom.AddValue("name", boundschema.String("backbone"))
+	net := mustAdd(dir, "o=backbone", "ou=lab-net", "subnet", "netElement", "top")
+	net.AddValue("name", boundschema.String("lab network"))
+	h1 := mustAdd(dir, "ou=lab-net,o=backbone", "cn=gw1", "host", "netElement", "packetRouter", "top")
+	h1.AddValue("ipAddress", boundschema.String("10.0.0.1"))
+	h1.AddValue("bandwidth", boundschema.Int(10_000))
+	pol := mustAdd(dir, "o=backbone", "cn=throttle", "policy", "top")
+	pol.AddValue("action", boundschema.String("rate-limit"))
+	pol.AddValue("priority", boundschema.Int(5))
+
+	fmt.Printf("base instance legal: %v\n", boundschema.Check(schema, dir).Legal())
+
+	// 1. The introduction's example: a person cannot also be a
+	// packetRouter — the auxiliary class is not allowed for person.
+	person := mustAdd(dir, "o=backbone", "uid=oper", "person", "packetRouter", "top")
+	person.AddValue("name", boundschema.String("operator"))
+	r := boundschema.Check(schema, dir)
+	fmt.Printf("\nperson+packetRouter rejected:\n%s\n", r)
+	person.RemoveClass("packetRouter")
+
+	// 2. A policy outside any admin domain breaks the ancestor bound.
+	app := boundschema.NewApplier(schema)
+	tx := &boundschema.Transaction{}
+	tx.Add("cn=stray-policy", []string{"policy", "top"},
+		map[string][]boundschema.Value{"action": {boundschema.String("drop")}})
+	rep, err := app.Apply(dir, tx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stray policy accepted: %v\n%s\n", rep.Legal(), rep)
+
+	// 3. Hosts are leaves: attaching anything below one is rejected and
+	// rolled back.
+	tx = &boundschema.Transaction{}
+	tx.Add("cn=sub,cn=gw1,ou=lab-net,o=backbone", []string{"netElement", "top"}, nil)
+	rep, err = app.Apply(dir, tx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("child under host accepted: %v\n", rep.Legal())
+
+	// 4. Duplicate IP addresses violate the Section 6.1 key.
+	h2 := mustAdd(dir, "ou=lab-net,o=backbone", "cn=gw2", "host", "netElement", "top")
+	h2.AddValue("ipAddress", boundschema.String("10.0.0.1"))
+	r = boundschema.Check(schema, dir)
+	fmt.Printf("duplicate IP rejected:\n%s\n\n", r)
+	h2.SetValues("ipAddress", boundschema.String("10.0.0.2"))
+
+	// 5. Single-valued priority (the Section 6.1 numeric restriction).
+	pol.AddValue("priority", boundschema.Int(9))
+	r = boundschema.Check(schema, dir)
+	fmt.Printf("\ndouble priority rejected:\n%s\n", r)
+	pol.SetValues("priority", boundschema.Int(5))
+
+	fmt.Printf("final instance legal: %v (%d entries)\n",
+		boundschema.Check(schema, dir).Legal(), dir.Len())
+}
+
+func mustAdd(d *boundschema.Directory, parentDN, rdn string, classes ...string) *boundschema.Entry {
+	var e *boundschema.Entry
+	var err error
+	if parentDN == "" {
+		e, err = d.AddRoot(rdn, classes...)
+	} else {
+		parent := d.ByDN(parentDN)
+		if parent == nil {
+			log.Fatalf("no parent %s", parentDN)
+		}
+		e, err = d.AddChild(parent, rdn, classes...)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	return e
+}

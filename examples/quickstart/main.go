@@ -1,0 +1,68 @@
+// Quickstart: define a bounding-schema in the schema language, build a
+// small directory through the API, test legality, and see a violation
+// report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"boundschema"
+)
+
+const schemaSrc = `
+schema team {
+  attribute name: string
+  attribute mail: string
+
+  class group extends top { }
+  class person extends top {
+    aux online
+    requires name
+  }
+  auxclass online {
+    allows mail
+  }
+
+  require class group
+  require group descendant person   // every group employs somebody
+  forbid person child top           // people are leaves
+}
+`
+
+func main() {
+	schema, name, err := boundschema.ParseSchema(schemaSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded schema %q\n", name)
+
+	// A consistent schema admits at least one legal instance; the
+	// materializer builds a witness.
+	res := boundschema.CheckConsistency(schema)
+	fmt.Printf("consistent: %v (%d closed facts)\n", res.Consistent, res.Facts)
+
+	// Build an instance.
+	dir := boundschema.NewDirectory(schema.Registry)
+	eng, err := dir.AddRoot("ou=engineering", "group", "top")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ada, err := dir.AddChild(eng, "uid=ada", "person", "online", "top")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ada.AddValue("name", boundschema.String("Ada Lovelace"))
+	ada.AddValue("mail", boundschema.String("ada@example.org"))
+
+	report := boundschema.Check(schema, dir)
+	fmt.Printf("instance legal: %v\n", report.Legal())
+
+	// Break it: remove the required name and add an empty group.
+	ada.SetValues("name")
+	if _, err := dir.AddRoot("ou=empty", "group", "top"); err != nil {
+		log.Fatal(err)
+	}
+	report = boundschema.Check(schema, dir)
+	fmt.Printf("after mutation: legal=%v\n%s\n", report.Legal(), report)
+}

@@ -1,0 +1,63 @@
+// Semistructured demonstrates Section 6.3: bounding-schema structural
+// relationships applied to semi-structured data, expressing constraints
+// that fixed-length path constraints and regular path expressions cannot
+// — required descendants at unbounded depth and forbidden nestings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"boundschema/internal/core"
+	"boundschema/internal/semistruct"
+)
+
+func main() {
+	c := semistruct.NewConstraints()
+	// "each person node must have a (descendant) name node, without
+	// having to fix the length of the path" (Section 6.3).
+	check(c.Require("person", core.AxisDesc, "name"))
+	// Countries may hold corporations, corporations may hold countries
+	// and corporations — but a country never nests under a country.
+	check(c.Forbid("country", core.AxisDesc, "country"))
+
+	res := c.Consistent()
+	fmt.Printf("constraints consistent: %v\n", res.Consistent)
+
+	// The paper's corporate world: national corporations, international
+	// corporations, conglomerates.
+	national := semistruct.New("country",
+		semistruct.New("corporation",
+			semistruct.New("person",
+				semistruct.New("contact", semistruct.Leaf("name", "ada")))))
+	international := semistruct.New("corporation",
+		semistruct.New("country"),
+		semistruct.New("corporation", // a conglomerate member
+			semistruct.New("person", semistruct.Leaf("name", "grace"))))
+
+	report, err := c.Check(national, international)
+	check(err)
+	fmt.Printf("corporate forest legal: %v\n", report.Legal())
+
+	// Nested countries are caught no matter how deep.
+	nested := semistruct.New("country",
+		semistruct.New("region",
+			semistruct.New("province",
+				semistruct.New("country"))))
+	report, err = c.Check(nested)
+	check(err)
+	fmt.Printf("\nnested countries legal: %v\n%s\n", report.Legal(), report)
+
+	// So are nameless persons.
+	anon := semistruct.New("person",
+		semistruct.New("address", semistruct.Leaf("street", "main st")))
+	report, err = c.Check(anon)
+	check(err)
+	fmt.Printf("\nnameless person legal: %v\n%s\n", report.Legal(), report)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

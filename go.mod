@@ -1,0 +1,3 @@
+module boundschema
+
+go 1.22

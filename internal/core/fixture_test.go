@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"boundschema/internal/dirtree"
+)
+
+// whitePagesSchema builds the paper's running example: the class schema of
+// Figure 2, a structure schema matching Figure 3 and the Section 3/4
+// narrative, and the attribute schema sketched in Sections 1.2 and 2.2.
+func whitePagesSchema(t testing.TB) *Schema {
+	s := NewSchema()
+
+	// Figure 2: core hierarchy.
+	mustCore := func(c, super string) {
+		if err := s.Classes.AddCore(c, super); err != nil {
+			t.Fatalf("AddCore(%s, %s): %v", c, super, err)
+		}
+	}
+	mustCore("orgGroup", ClassTop)
+	mustCore("person", ClassTop)
+	mustCore("organization", "orgGroup")
+	mustCore("orgUnit", "orgGroup")
+	mustCore("staffMember", "person")
+	mustCore("researcher", "person")
+
+	// Figure 2: auxiliary classes.
+	for _, x := range []string{"online", "manager", "secretary", "consultant", "facultyMember"} {
+		if err := s.Classes.AddAux(x); err != nil {
+			t.Fatalf("AddAux(%s): %v", x, err)
+		}
+	}
+	mustAllow := func(core string, auxes ...string) {
+		if err := s.Classes.AllowAux(core, auxes...); err != nil {
+			t.Fatalf("AllowAux(%s): %v", core, err)
+		}
+	}
+	mustAllow("orgGroup", "online")
+	mustAllow("person", "online")
+	mustAllow("staffMember", "manager", "secretary", "consultant")
+	mustAllow("researcher", "manager", "consultant", "facultyMember")
+
+	// Attribute schema (Section 1.2: every person must have a name).
+	s.Attrs.Require("person", "name")
+	s.Attrs.Allow("organization", "uri")
+	s.Attrs.Allow("orgUnit", "location")
+	s.Attrs.Allow("online", "mail")
+
+	// Figure 3 / Sections 3-4: structure schema.
+	s.Structure.RequireClass("organization")
+	s.Structure.RequireClass("orgUnit")
+	s.Structure.RequireClass("person")
+	s.Structure.RequireRel("orgGroup", AxisDesc, "person") // every org group employs a person
+	s.Structure.RequireRel("orgUnit", AxisParent, "orgGroup")
+	s.Structure.RequireRel("person", AxisAnc, "organization")
+	if err := s.Structure.ForbidRel("person", AxisChild, ClassTop); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Validate(); err != nil {
+		t.Fatalf("white pages schema invalid: %v", err)
+	}
+	return s
+}
+
+// whitePagesInstance builds the Figure 1 instance, which is legal w.r.t.
+// whitePagesSchema.
+func whitePagesInstance(t testing.TB, s *Schema) *dirtree.Directory {
+	d := dirtree.New(s.Registry)
+	add := func(parent *dirtree.Entry, rdn string, classes ...string) *dirtree.Entry {
+		var e *dirtree.Entry
+		var err error
+		if parent == nil {
+			e, err = d.AddRoot(rdn, classes...)
+		} else {
+			e, err = d.AddChild(parent, rdn, classes...)
+		}
+		if err != nil {
+			t.Fatalf("add %s: %v", rdn, err)
+		}
+		return e
+	}
+	att := add(nil, "o=att", "organization", "orgGroup", "online", "top")
+	att.AddValue("uri", dirtree.String("http://www.att.com/"))
+	labs := add(att, "ou=attLabs", "orgUnit", "orgGroup", "top")
+	labs.AddValue("location", dirtree.String("FP"))
+	armstrong := add(labs, "uid=armstrong", "staffMember", "person", "top")
+	armstrong.AddValue("name", dirtree.String("m armstrong"))
+	db := add(labs, "ou=databases", "orgUnit", "orgGroup", "top")
+	laks := add(db, "uid=laks", "researcher", "facultyMember", "person", "online", "top")
+	laks.AddValue("name", dirtree.String("laks lakshmanan"))
+	laks.AddValue("mail", dirtree.String("laks@cs.concordia.ca"))
+	laks.AddValue("mail", dirtree.String("laks@cse.iitb.ernet.in"))
+	suciu := add(db, "uid=suciu", "researcher", "person", "top")
+	suciu.AddValue("name", dirtree.String("dan suciu"))
+	return d
+}
+
+func entryByRDN(t testing.TB, d *dirtree.Directory, rdn string) *dirtree.Entry {
+	for _, e := range d.Entries() {
+		if e.RDN() == rdn {
+			return e
+		}
+	}
+	t.Fatalf("no entry with RDN %s", rdn)
+	return nil
+}

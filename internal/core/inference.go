@@ -1,0 +1,1293 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the inference system of Section 5 (Figures 6 and
+// 7): a fixpoint closure over schema elements that detects the two causes
+// of schema inconsistency — cycles and contradictions — including their
+// interactions with the core class hierarchy. The schema is consistent
+// iff the marker Exists(∅) is not derivable (Theorem 5.2).
+//
+// The published figures are reconstructed here from the paper's prose and
+// the formal semantics of Definition 2.6 (the source scan is partially
+// garbled); DESIGN.md records the reconstruction and the mechanical
+// validation strategy. The rules, with ⇒ the subclass relation and ⊗
+// disjointness of incomparable core classes:
+//
+// Figure 6 (cycles):
+//
+//	N   exists(ci), req(ci,ax,cj)            ⊢ exists(cj)        any axis
+//	P   req(ci,ch,cj)                        ⊢ req(ci,de,cj)
+//	P   req(ci,pa,cj)                        ⊢ req(ci,an,cj)
+//	T   req(ci,de,cj), req(cj,de,ck)         ⊢ req(ci,de,ck)     same for an
+//	L   req(ci,de,ci)                        ⊢ req(ci,de,∅)      same for an
+//	S   ci' ⇒ ci, req(ci,ax,cj)              ⊢ req(ci',ax,cj)
+//	G   req(ci,ax,cj), cj ⇒ cj'              ⊢ req(ci,ax,cj')
+//	E   exists(ci), ci ⇒ cj                  ⊢ exists(cj)
+//
+// Figure 7 (contradictions):
+//
+//	PT  req(ci,de,cj)                        ⊢ req(ci,ch,top)
+//	PT  req(ci,an,cj)                        ⊢ req(ci,pa,top)
+//	FW  forb(ci,de,cj)                       ⊢ forb(ci,ch,cj)
+//	FL  forb(ci,ch,top)                      ⊢ forb(ci,de,top)
+//	    (a childless class has no descendants either)
+//	FS  forb(ci,ax,cj), ci' ⇒ ci             ⊢ forb(ci',ax,cj)
+//	FS  forb(ci,ax,cj), cj' ⇒ cj             ⊢ forb(ci,ax,cj')
+//	DC  req(ci,ax,cj), forb(ci,ax,cj)        ⊢ req(ci,ax,∅)      ax ∈ {ch,de}
+//	PH  req(ci,pa,cj), forb(cj,ch,ci)        ⊢ req(ci,pa,∅)
+//	AH  req(ci,an,cj), forb(cj,de,ci)        ⊢ req(ci,an,∅)
+//	U   req(ci,ax,cj), unsat(cj)             ⊢ req(ci,ax,∅)
+//	MP  req(ci,pa,cj), req(ci,pa,ck), cj⊗ck  ⊢ req(ci,pa,∅)
+//	PA  req(ci,pa,cj), req(ci,an,ck), cj⊗ck, forb(ck,de,cj)
+//	                                         ⊢ req(ci,pa,∅)
+//	AA  req(ci,an,cj), req(ci,an,ck), cj⊗ck, forb(cj,de,ck), forb(ck,de,cj)
+//	                                         ⊢ req(ci,an,∅)
+//	RT  req(ci,de,cj), forb(top,ch,cj)       ⊢ req(ci,de,∅)
+//	LT  req(ci,an,cj), forb(cj,ch,top)       ⊢ req(ci,an,∅)
+//	CP  req(ci,ch,cj), req(cj,pa,ck), ci⊗ck  ⊢ req(ci,ch,∅)
+//	DPD req(ci,de,cj), req(cj,pa,ck), ci⊗ck  ⊢ req(ci,de,ck)
+//	DPD req(ci,de,cj), req(cj,pa,ck), forb(ci,ch,cj)
+//	                                         ⊢ req(ci,de,ck)
+//
+// (The ch/pa forms of RT and LT are already derivable: FS propagates a
+// top-rooted prohibition to every core class, after which DC and PH
+// fire.)
+//
+// DPD captures that the required parent of a strict descendant is itself
+// strictly below the source whenever it cannot be the source entry
+// (disjoint classes, or the descendant may not be a direct child); the
+// derived descendant requirement then feeds the cycle rules T/L and the
+// conflict rule DC.
+//
+// Two auxiliary fact kinds compile the case analysis the Parenthood/
+// Ancestorhood schemata need ("the witness is the source entry itself or
+// sits strictly above it"):
+//
+//	self(a,c):  every a entry also belongs to c
+//	            (from req(a,ch,b), req(b,pa,c): the b child's parent IS
+//	            the a entry)
+//	above(a,c): every a entry belongs to c or has a strict c ancestor
+//	            (from req(a,an,c); from self(a,c); and from req(a,ch,b),
+//	            req(b,an,c): the child's ancestors are a and a's
+//	            ancestors)
+//
+// with the rules
+//
+//	SD  self(a,c), a⊗c                       ⊢ unsat(a)
+//	ST  self(a,b), self(b,c)                 ⊢ self(a,c)
+//	SR  self(a,c), req(c,ax,d)               ⊢ req(a,ax,d)
+//	SF  self(a,c), forb(x,ax,c)              ⊢ forb(x,ax,a)   and
+//	    self(a,c), forb(c,ax,d)              ⊢ forb(a,ax,d)
+//	SE  exists(a), self(a,c)                 ⊢ exists(c)
+//	AO1 above(a,c), a⊗c                      ⊢ req(a,an,c)
+//	AO2 above(a,c), req(c,an,d)              ⊢ req(a,an,d)    (also pa)
+//	AO3 above(a,b), above(b,c)               ⊢ above(a,c)
+//	AO4 above(a,c), forb(c,de,a)             ⊢ self(a,c)
+//	SW  req(a,de,k), above(a,c), forb(c,de,k) ⊢ req(a,de,∅)
+//
+// SW is the "sandwich" contradiction: something must sit below a, but
+// everything at or above a may not have it below.
+//
+// The downward dual below(a,c) — every a entry belongs to c or has a
+// strict c descendant — arises from req(a,de,b), req(b,pa,c) (the strict
+// descendant's parent is the a entry or sits strictly below it) and obeys
+// the mirrored rules BO1-BO4 plus the dual sandwich
+//
+//	WS  req(a,an,x), below(a,c), forb(x,de,c) ⊢ req(a,an,∅)
+//
+// where unsat(c) abbreviates "req(c,ax,∅) for some axis": no entry of
+// class c can occur in a legal instance. Finally, a chain-feasibility
+// pass (the general form of the MP/PA/AA "Ancestorhood" analysis)
+// detects forced-order cycles among three or more required ancestors.
+//
+// The closure is polynomial: O(|C|²) facts per kind, each processed once
+// with O(|C|)-bounded joins.
+
+type factKind int
+
+const (
+	factExists factKind = iota
+	factReq
+	factForb
+	factSelf  // self(a,c): every a entry also belongs to c
+	factAbove // above(a,c): every a entry is in c or has a strict c ancestor
+	factBelow // below(a,c): every a entry is in c or has a strict c descendant
+)
+
+// fact is one closed schema element over class ids.
+type fact struct {
+	kind factKind
+	a    int // class (exists) or source/upper
+	ax   Axis
+	b    int // target/lower; unused for exists
+}
+
+// InferOptions tunes the inference system, for ablation experiments.
+type InferOptions struct {
+	// PairwiseOnly restricts the system to the rules directly
+	// reconstructable from the paper's Figures 6-7 (pairwise premises
+	// over req/forb/sub/disjoint facts), disabling this implementation's
+	// extensions: the CP/DPD compositions, the self/above/below case-
+	// analysis facts, and the chain-feasibility passes. Used to
+	// demonstrate which inconsistencies each group catches (experiment
+	// E11); production callers should use Infer.
+	PairwiseOnly bool
+}
+
+// Inference is the closed schema-element database. Build it with Infer.
+type Inference struct {
+	schema *Schema
+	opts   InferOptions
+	names  []string       // id -> class name; ids[0] is the pseudo-class ∅
+	ids    map[string]int // class name -> id
+
+	treeParent []int   // immediate superclass id, -1 for top and ∅
+	treeKids   [][]int // immediate subclasses
+	depth      []int
+
+	exists  []bool
+	req     [4][]map[int]struct{} // req[ax][src] -> targets
+	revReq  [4][]map[int]struct{} // revReq[ax][tgt] -> sources
+	forb    [2][]map[int]struct{} // forb[ax][upper] -> lowers (ch, de)
+	revForb [2][]map[int]struct{} // revForb[ax][lower] -> uppers
+	self    []map[int]struct{}    // self[a] -> {c}
+	selfRev []map[int]struct{}
+	abv     []map[int]struct{} // abv[a] -> {c}
+	abvRev  []map[int]struct{}
+	blw     []map[int]struct{} // blw[a] -> {c}
+	blwRev  []map[int]struct{}
+	unsat   []bool
+
+	inconsistent bool
+	prov         map[fact]provenance
+	work         []fact
+}
+
+type provenance struct {
+	rule     string
+	premises []fact
+}
+
+const (
+	idNone = 0 // the pseudo-class ∅
+)
+
+// Infer computes the closure of the schema's class and structure
+// elements under the inference rules.
+func Infer(s *Schema) *Inference { return InferWith(s, InferOptions{}) }
+
+// InferWith is Infer with explicit options (see InferOptions).
+func InferWith(s *Schema, opts InferOptions) *Inference {
+	in := &Inference{
+		schema: s,
+		opts:   opts,
+		ids:    make(map[string]int),
+		prov:   make(map[fact]provenance),
+	}
+	in.addClass(ClassNone)
+	// Register every core class; ∅ has id 0, and tree pointers follow the
+	// class schema. (Structure schemas range over core classes only.)
+	cores := s.Classes.CoreClasses()
+	sort.Slice(cores, func(i, j int) bool {
+		return s.Classes.DepthOf(cores[i]) < s.Classes.DepthOf(cores[j])
+	})
+	for _, c := range cores {
+		id := in.addClass(c)
+		if p, ok := s.Classes.Superclass(c); ok {
+			pid := in.ids[p]
+			in.treeParent[id] = pid
+			in.treeKids[pid] = append(in.treeKids[pid], id)
+			in.depth[id] = in.depth[pid] + 1
+		}
+	}
+
+	// Seed the base facts.
+	for _, c := range s.Structure.RequiredClasses() {
+		in.assertExists(in.ids[c], "given", nil)
+	}
+	for _, r := range s.Structure.RequiredRels() {
+		in.assertReq(in.ids[r.Source], r.Axis, in.ids[r.Target], "given", nil)
+	}
+	for _, f := range s.Structure.ForbiddenRels() {
+		in.assertForb(in.ids[f.Upper], f.Axis, in.ids[f.Lower], "given", nil)
+	}
+	in.drain()
+
+	// Alternate the chain-feasibility pass with the rule closure until
+	// neither derives anything new.
+	if !opts.PairwiseOnly {
+		for in.chainFeasibility() {
+			in.drain()
+		}
+	}
+	return in
+}
+
+func (in *Inference) addClass(name string) int {
+	id := len(in.names)
+	in.names = append(in.names, name)
+	in.ids[name] = id
+	in.treeParent = append(in.treeParent, -1)
+	in.treeKids = append(in.treeKids, nil)
+	in.depth = append(in.depth, 0)
+	in.exists = append(in.exists, false)
+	in.unsat = append(in.unsat, name == ClassNone)
+	for ax := 0; ax < 4; ax++ {
+		in.req[ax] = append(in.req[ax], nil)
+		in.revReq[ax] = append(in.revReq[ax], nil)
+	}
+	for ax := 0; ax < 2; ax++ {
+		in.forb[ax] = append(in.forb[ax], nil)
+		in.revForb[ax] = append(in.revForb[ax], nil)
+	}
+	in.self = append(in.self, nil)
+	in.selfRev = append(in.selfRev, nil)
+	in.abv = append(in.abv, nil)
+	in.abvRev = append(in.abvRev, nil)
+	in.blw = append(in.blw, nil)
+	in.blwRev = append(in.blwRev, nil)
+	return id
+}
+
+// subsumes reports sub ⇒ super over ids (reflexive, via the tree).
+func (in *Inference) subsumes(sub, super int) bool {
+	for c := sub; c != -1; c = in.treeParent[c] {
+		if c == super {
+			return true
+		}
+	}
+	return false
+}
+
+// disjoint reports the ⊗ relation over ids: distinct incomparable core
+// classes. ∅ is treated as disjoint from everything.
+func (in *Inference) disjoint(a, b int) bool {
+	if a == idNone || b == idNone {
+		return true
+	}
+	return !in.subsumes(a, b) && !in.subsumes(b, a)
+}
+
+func (in *Inference) hasReq(src int, ax Axis, tgt int) bool {
+	_, ok := in.req[ax][src][tgt]
+	return ok
+}
+
+func (in *Inference) hasForb(upper int, ax Axis, lower int) bool {
+	_, ok := in.forb[ax][upper][lower]
+	return ok
+}
+
+// assertExists records exists(c) and queues it for consequence
+// processing.
+func (in *Inference) assertExists(c int, rule string, premises []fact) {
+	if in.exists[c] {
+		return
+	}
+	in.exists[c] = true
+	f := fact{kind: factExists, a: c}
+	in.prov[f] = provenance{rule: rule, premises: premises}
+	in.work = append(in.work, f)
+	if c == idNone {
+		in.inconsistent = true
+	}
+}
+
+func (in *Inference) assertReq(src int, ax Axis, tgt int, rule string, premises []fact) {
+	set := in.req[ax][src]
+	if set == nil {
+		set = make(map[int]struct{})
+		in.req[ax][src] = set
+	}
+	if _, dup := set[tgt]; dup {
+		return
+	}
+	set[tgt] = struct{}{}
+	rev := in.revReq[ax][tgt]
+	if rev == nil {
+		rev = make(map[int]struct{})
+		in.revReq[ax][tgt] = rev
+	}
+	rev[src] = struct{}{}
+	f := fact{kind: factReq, a: src, ax: ax, b: tgt}
+	in.prov[f] = provenance{rule: rule, premises: premises}
+	in.work = append(in.work, f)
+}
+
+func (in *Inference) assertForb(upper int, ax Axis, lower int, rule string, premises []fact) {
+	set := in.forb[ax][upper]
+	if set == nil {
+		set = make(map[int]struct{})
+		in.forb[ax][upper] = set
+	}
+	if _, dup := set[lower]; dup {
+		return
+	}
+	set[lower] = struct{}{}
+	rev := in.revForb[ax][lower]
+	if rev == nil {
+		rev = make(map[int]struct{})
+		in.revForb[ax][lower] = rev
+	}
+	rev[upper] = struct{}{}
+	f := fact{kind: factForb, a: upper, ax: ax, b: lower}
+	in.prov[f] = provenance{rule: rule, premises: premises}
+	in.work = append(in.work, f)
+}
+
+func (in *Inference) assertSelf(a, c int, rule string, premises []fact) {
+	if in.opts.PairwiseOnly {
+		return
+	}
+	set := in.self[a]
+	if set == nil {
+		set = make(map[int]struct{})
+		in.self[a] = set
+	}
+	if _, dup := set[c]; dup {
+		return
+	}
+	set[c] = struct{}{}
+	rev := in.selfRev[c]
+	if rev == nil {
+		rev = make(map[int]struct{})
+		in.selfRev[c] = rev
+	}
+	rev[a] = struct{}{}
+	f := fact{kind: factSelf, a: a, b: c}
+	in.prov[f] = provenance{rule: rule, premises: premises}
+	in.work = append(in.work, f)
+}
+
+func (in *Inference) assertAbove(a, c int, rule string, premises []fact) {
+	if in.opts.PairwiseOnly {
+		return
+	}
+	set := in.abv[a]
+	if set == nil {
+		set = make(map[int]struct{})
+		in.abv[a] = set
+	}
+	if _, dup := set[c]; dup {
+		return
+	}
+	set[c] = struct{}{}
+	rev := in.abvRev[c]
+	if rev == nil {
+		rev = make(map[int]struct{})
+		in.abvRev[c] = rev
+	}
+	rev[a] = struct{}{}
+	f := fact{kind: factAbove, a: a, b: c}
+	in.prov[f] = provenance{rule: rule, premises: premises}
+	in.work = append(in.work, f)
+}
+
+func (in *Inference) assertBelow(a, c int, rule string, premises []fact) {
+	if in.opts.PairwiseOnly {
+		return
+	}
+	set := in.blw[a]
+	if set == nil {
+		set = make(map[int]struct{})
+		in.blw[a] = set
+	}
+	if _, dup := set[c]; dup {
+		return
+	}
+	set[c] = struct{}{}
+	rev := in.blwRev[c]
+	if rev == nil {
+		rev = make(map[int]struct{})
+		in.blwRev[c] = rev
+	}
+	rev[a] = struct{}{}
+	f := fact{kind: factBelow, a: a, b: c}
+	in.prov[f] = provenance{rule: rule, premises: premises}
+	in.work = append(in.work, f)
+}
+
+// markUnsat records that no entry of class c can exist, as req(c,ax,∅).
+func (in *Inference) markUnsat(c int, ax Axis, rule string, premises []fact) {
+	in.assertReq(c, ax, idNone, rule, premises)
+}
+
+// drain processes queued facts until the closure is stable.
+func (in *Inference) drain() {
+	for len(in.work) > 0 {
+		f := in.work[len(in.work)-1]
+		in.work = in.work[:len(in.work)-1]
+		switch f.kind {
+		case factExists:
+			in.onExists(f)
+		case factReq:
+			in.onReq(f)
+		case factForb:
+			in.onForb(f)
+		case factSelf:
+			in.onSelf(f)
+		case factAbove:
+			in.onAbove(f)
+		case factBelow:
+			in.onBelow(f)
+		}
+	}
+}
+
+func (in *Inference) onExists(f fact) {
+	c := f.a
+	// Rule N: required relationships out of an existing class force the
+	// target class to exist.
+	for ax := Axis(0); ax < 4; ax++ {
+		for tgt := range in.req[ax][c] {
+			in.assertExists(tgt, "N", []fact{f, {kind: factReq, a: c, ax: ax, b: tgt}})
+		}
+	}
+	// Rule E: an entry of c also belongs to c's superclasses.
+	if p := in.treeParent[c]; p != -1 {
+		in.assertExists(p, "E", []fact{f})
+	}
+	// Rule SE: an entry of c also belongs to its self-classes.
+	for d := range in.self[c] {
+		in.assertExists(d, "SE", []fact{f, {kind: factSelf, a: c, b: d}})
+	}
+}
+
+func (in *Inference) onReq(f fact) {
+	ci, ax, cj := f.a, f.ax, f.b
+
+	// Rule N.
+	if in.exists[ci] {
+		in.assertExists(cj, "N", []fact{{kind: factExists, a: ci}, f})
+	}
+	// Rule P: one step implies the transitive axis.
+	switch ax {
+	case AxisChild:
+		in.assertReq(ci, AxisDesc, cj, "P", []fact{f})
+	case AxisParent:
+		in.assertReq(ci, AxisAnc, cj, "P", []fact{f})
+	}
+	// Rule T: transitivity of de and an.
+	if ax.Transitive() {
+		for ck := range in.req[ax][cj] {
+			in.assertReq(ci, ax, ck, "T", []fact{f, {kind: factReq, a: cj, ax: ax, b: ck}})
+		}
+		for ch := range in.revReq[ax][ci] {
+			in.assertReq(ch, ax, cj, "T", []fact{{kind: factReq, a: ch, ax: ax, b: ci}, f})
+		}
+		// Rule L: a transitive self-loop needs an infinite chain.
+		if ci == cj && ci != idNone {
+			in.markUnsat(ci, ax, "L", []fact{f})
+		}
+	}
+	// Rule S: subclasses inherit the requirement.
+	for _, sub := range in.treeKids[ci] {
+		in.assertReq(sub, ax, cj, "S", []fact{f})
+	}
+	// Rule G: the target's superclass is also guaranteed.
+	if cj != idNone {
+		if p := in.treeParent[cj]; p != -1 {
+			in.assertReq(ci, ax, p, "G", []fact{f})
+		}
+	}
+	// Rule PT: any descendant (ancestor) requirement implies a child
+	// (parent) of top.
+	if top, ok := in.ids[ClassTop]; ok {
+		switch ax {
+		case AxisDesc:
+			in.assertReq(ci, AxisChild, top, "PT", []fact{f})
+		case AxisAnc:
+			in.assertReq(ci, AxisParent, top, "PT", []fact{f})
+		}
+	}
+	// Rule DC: direct conflict with a forbidden relationship.
+	if ax.Downward() && in.hasForb(ci, ax, cj) {
+		in.markUnsat(ci, ax, "DC", []fact{f, {kind: factForb, a: ci, ax: ax, b: cj}})
+	}
+	// Rules PH/AH: the required parent (ancestor) is forbidden from
+	// having ci below it.
+	switch ax {
+	case AxisParent:
+		if in.hasForb(cj, AxisChild, ci) {
+			in.markUnsat(ci, ax, "PH", []fact{f, {kind: factForb, a: cj, ax: AxisChild, b: ci}})
+		}
+	case AxisAnc:
+		if in.hasForb(cj, AxisDesc, ci) {
+			in.markUnsat(ci, ax, "AH", []fact{f, {kind: factForb, a: cj, ax: AxisDesc, b: ci}})
+		}
+	}
+	// Rule U: requirement into an unsatisfiable class.
+	if in.unsat[cj] {
+		in.markUnsat(ci, ax, "U", []fact{f})
+	}
+	// A new unsat(cj)=req(cj,_,∅) fact retroactively fires U for
+	// requirements into cj.
+	if cj == idNone && !in.unsat[ci] {
+		in.unsat[ci] = true
+		for ax2 := Axis(0); ax2 < 4; ax2++ {
+			for src := range in.revReq[ax2][ci] {
+				in.markUnsat(src, ax2, "U", []fact{{kind: factReq, a: src, ax: ax2, b: ci}, f})
+			}
+		}
+	}
+	// Rule MP: two disjoint required parents cannot be one entry.
+	if ax == AxisParent && cj != idNone {
+		for ck := range in.req[AxisParent][ci] {
+			if ck != cj && ck != idNone && in.disjoint(cj, ck) {
+				in.markUnsat(ci, ax, "MP", []fact{f, {kind: factReq, a: ci, ax: AxisParent, b: ck}})
+			}
+		}
+	}
+	// Rule PA: a required ancestor that can neither be the required
+	// parent nor sit above it.
+	if cj != idNone {
+		switch ax {
+		case AxisParent:
+			for ck := range in.req[AxisAnc][ci] {
+				if ck != idNone && in.disjoint(cj, ck) && in.hasForb(ck, AxisDesc, cj) {
+					in.markUnsat(ci, AxisParent, "PA", []fact{f, {kind: factReq, a: ci, ax: AxisAnc, b: ck}})
+				}
+			}
+		case AxisAnc:
+			for ck := range in.req[AxisParent][ci] {
+				if ck != idNone && in.disjoint(ck, cj) && in.hasForb(cj, AxisDesc, ck) {
+					in.markUnsat(ci, AxisAnc, "PA", []fact{f, {kind: factReq, a: ci, ax: AxisParent, b: ck}})
+				}
+			}
+		}
+	}
+	// Rule AA: two required ancestors that can neither merge nor be
+	// ordered.
+	if ax == AxisAnc && cj != idNone {
+		for ck := range in.req[AxisAnc][ci] {
+			if ck == cj || ck == idNone {
+				continue
+			}
+			if in.disjoint(cj, ck) && in.hasForb(cj, AxisDesc, ck) && in.hasForb(ck, AxisDesc, cj) {
+				in.markUnsat(ci, AxisAnc, "AA", []fact{f, {kind: factReq, a: ci, ax: AxisAnc, b: ck}})
+			}
+		}
+	}
+	if cj != idNone {
+		top, hasTop := in.ids[ClassTop]
+		// Rule RT: a required descendant that may be nobody's child.
+		if ax == AxisDesc && hasTop && in.hasForb(top, AxisChild, cj) {
+			in.markUnsat(ci, AxisDesc, "RT", []fact{f, {kind: factForb, a: top, ax: AxisChild, b: cj}})
+		}
+		// Rule LT: a required ancestor that may have no children.
+		if ax == AxisAnc && hasTop && in.hasForb(cj, AxisChild, top) {
+			in.markUnsat(ci, AxisAnc, "LT", []fact{f, {kind: factForb, a: cj, ax: AxisChild, b: top}})
+		}
+		// Rules CP/DPD: the required child (descendant) cj needs a parent
+		// of class ck, which the ci entry (or an entry between them)
+		// would have to provide. (Extension rules; see InferOptions.)
+		if !in.opts.PairwiseOnly {
+			in.onReqCompositions(f, ci, ax, cj)
+		}
+	}
+	in.onReqCaseAnalysis(f, ci, ax, cj)
+}
+
+// onReqCompositions applies the CP and DPD composition rules (extensions
+// beyond the pairwise Figure 7 reconstruction).
+func (in *Inference) onReqCompositions(f fact, ci int, ax Axis, cj int) {
+	switch ax {
+	case AxisChild:
+		for ck := range in.req[AxisParent][cj] {
+			if ck != idNone && in.disjoint(ci, ck) {
+				in.markUnsat(ci, AxisChild, "CP", []fact{f, {kind: factReq, a: cj, ax: AxisParent, b: ck}})
+			}
+		}
+	case AxisDesc:
+		for ck := range in.req[AxisParent][cj] {
+			if ck != idNone && (in.disjoint(ci, ck) || in.hasForb(ci, AxisChild, cj)) {
+				in.assertReq(ci, AxisDesc, ck, "DPD", []fact{f, {kind: factReq, a: cj, ax: AxisParent, b: ck}})
+			}
+		}
+	case AxisParent:
+		// Joining CP and DPD from the pa side: new req(cj,pa,ck).
+		for s := range in.revReq[AxisChild][ci] {
+			if in.disjoint(s, cj) {
+				in.markUnsat(s, AxisChild, "CP", []fact{{kind: factReq, a: s, ax: AxisChild, b: ci}, f})
+			}
+		}
+		for s := range in.revReq[AxisDesc][ci] {
+			if in.disjoint(s, cj) || in.hasForb(s, AxisChild, ci) {
+				in.assertReq(s, AxisDesc, cj, "DPD", []fact{{kind: factReq, a: s, ax: AxisDesc, b: ci}, f})
+			}
+		}
+	}
+}
+
+// onReqCaseAnalysis applies the self/above/below introductions and joins
+// (extension rules; no-ops under InferOptions.PairwiseOnly since the
+// assert helpers drop these facts).
+func (in *Inference) onReqCaseAnalysis(f fact, ci int, ax Axis, cj int) {
+	switch ax {
+	case AxisChild:
+		if cj != idNone {
+			// SI: the required child's required parent IS this entry.
+			for ck := range in.req[AxisParent][cj] {
+				in.assertSelf(ci, ck, "SI", []fact{f, {kind: factReq, a: cj, ax: AxisParent, b: ck}})
+			}
+			// AB3: the required child's required ancestors are this
+			// entry or its ancestors.
+			for ck := range in.req[AxisAnc][cj] {
+				in.assertAbove(ci, ck, "AB3", []fact{f, {kind: factReq, a: cj, ax: AxisAnc, b: ck}})
+			}
+		}
+		// BO2 join: entries at-or-above ci inherit the child requirement
+		// as a strict descendant.
+		if cj != idNone {
+			for s := range in.blwRev[ci] {
+				in.assertReq(s, AxisDesc, cj, "BO2", []fact{{kind: factBelow, a: s, b: ci}, f})
+			}
+		}
+	case AxisParent:
+		// SI join from the pa side: new req(ci,pa,cj) with ci a
+		// required child of s.
+		for s := range in.revReq[AxisChild][ci] {
+			in.assertSelf(s, cj, "SI", []fact{{kind: factReq, a: s, ax: AxisChild, b: ci}, f})
+		}
+		// below intro join: new req(ci,pa,cj) with ci a required strict
+		// descendant of s.
+		if cj != idNone {
+			for s := range in.revReq[AxisDesc][ci] {
+				in.assertBelow(s, cj, "BI", []fact{{kind: factReq, a: s, ax: AxisDesc, b: ci}, f})
+			}
+		}
+		// AO2 join: entries at-or-above ci inherit its parent
+		// requirement as a strict ancestor.
+		for s := range in.abvRev[ci] {
+			in.assertReq(s, AxisAnc, cj, "AO2", []fact{{kind: factAbove, a: s, b: ci}, f})
+		}
+	case AxisAnc:
+		// AB1: a strict ancestor requirement is an at-or-above fact.
+		in.assertAbove(ci, cj, "AB1", []fact{f})
+		// AB3 join from the an side.
+		for s := range in.revReq[AxisChild][ci] {
+			in.assertAbove(s, cj, "AB3", []fact{{kind: factReq, a: s, ax: AxisChild, b: ci}, f})
+		}
+		// AO2 join.
+		for s := range in.abvRev[ci] {
+			in.assertReq(s, AxisAnc, cj, "AO2", []fact{{kind: factAbove, a: s, b: ci}, f})
+		}
+		// WS join: new req(ci,an,cj) with something at-or-below ci that
+		// cj may not sit above.
+		if cj != idNone {
+			for c := range in.blw[ci] {
+				if in.hasForb(cj, AxisDesc, c) {
+					in.markUnsat(ci, AxisAnc, "WS",
+						[]fact{f, {kind: factBelow, a: ci, b: c}, {kind: factForb, a: cj, ax: AxisDesc, b: c}})
+				}
+			}
+		}
+	case AxisDesc:
+		// SW join: something at-or-above ci may not have cj below it.
+		if cj != idNone {
+			for c := range in.abv[ci] {
+				if in.hasForb(c, AxisDesc, cj) {
+					in.markUnsat(ci, AxisDesc, "SW",
+						[]fact{f, {kind: factAbove, a: ci, b: c}, {kind: factForb, a: c, ax: AxisDesc, b: cj}})
+				}
+			}
+			// below intro: the strict descendant's required parent is
+			// at-or-below ci.
+			for ck := range in.req[AxisParent][cj] {
+				if ck != idNone {
+					in.assertBelow(ci, ck, "BI", []fact{f, {kind: factReq, a: cj, ax: AxisParent, b: ck}})
+				}
+			}
+			// BO2 join.
+			for s := range in.blwRev[ci] {
+				in.assertReq(s, AxisDesc, cj, "BO2", []fact{{kind: factBelow, a: s, b: ci}, f})
+			}
+		}
+	}
+	// SR join: self-classes pass every requirement down.
+	for s := range in.selfRev[ci] {
+		in.assertReq(s, ax, cj, "SR", []fact{{kind: factSelf, a: s, b: ci}, f})
+	}
+}
+
+func (in *Inference) onSelf(f fact) {
+	a, c := f.a, f.b
+	// SD: a self-class the entry may not co-occur with.
+	if in.disjoint(a, c) {
+		in.markUnsat(a, AxisChild, "SD", []fact{f})
+	}
+	// ST: self is transitive.
+	for d := range in.self[c] {
+		in.assertSelf(a, d, "ST", []fact{f, {kind: factSelf, a: c, b: d}})
+	}
+	for s := range in.selfRev[a] {
+		in.assertSelf(s, c, "ST", []fact{{kind: factSelf, a: s, b: a}, f})
+	}
+	// SR: requirements of the self-class apply.
+	for ax := Axis(0); ax < 4; ax++ {
+		for d := range in.req[ax][c] {
+			in.assertReq(a, ax, d, "SR", []fact{f, {kind: factReq, a: c, ax: ax, b: d}})
+		}
+	}
+	// SF: prohibitions involving the self-class apply.
+	for ax := Axis(0); ax < 2; ax++ {
+		for d := range in.forb[ax][c] {
+			in.assertForb(a, ax, d, "SF", []fact{f, {kind: factForb, a: c, ax: ax, b: d}})
+		}
+		for x := range in.revForb[ax][c] {
+			in.assertForb(x, ax, a, "SF", []fact{f, {kind: factForb, a: x, ax: ax, b: c}})
+		}
+	}
+	// SE.
+	if in.exists[a] {
+		in.assertExists(c, "SE", []fact{{kind: factExists, a: a}, f})
+	}
+	// AB2/BB2: being c is the reflexive case of both at-or-above and
+	// at-or-below.
+	in.assertAbove(a, c, "AB2", []fact{f})
+	in.assertBelow(a, c, "BB2", []fact{f})
+	// Tree closure: subclasses of a inherit; c's superclasses are implied.
+	for _, sub := range in.treeKids[a] {
+		in.assertSelf(sub, c, "ST", []fact{f})
+	}
+	if c != idNone {
+		if p := in.treeParent[c]; p != -1 {
+			in.assertSelf(a, p, "ST", []fact{f})
+		}
+	}
+}
+
+func (in *Inference) onAbove(f fact) {
+	a, c := f.a, f.b
+	// AO1: if the entry cannot itself be c, the ancestor is strict.
+	if in.disjoint(a, c) {
+		in.assertReq(a, AxisAnc, c, "AO1", []fact{f})
+	}
+	// AO2: upward requirements of c land strictly above a.
+	for _, ax := range []Axis{AxisParent, AxisAnc} {
+		for d := range in.req[ax][c] {
+			in.assertReq(a, AxisAnc, d, "AO2", []fact{f, {kind: factReq, a: c, ax: ax, b: d}})
+		}
+	}
+	// AO3: at-or-above is transitive.
+	for d := range in.abv[c] {
+		in.assertAbove(a, d, "AO3", []fact{f, {kind: factAbove, a: c, b: d}})
+	}
+	for s := range in.abvRev[a] {
+		in.assertAbove(s, c, "AO3", []fact{{kind: factAbove, a: s, b: a}, f})
+	}
+	// AO4: a strict c ancestor would be forbidden, so the entry is c.
+	if in.hasForb(c, AxisDesc, a) {
+		in.assertSelf(a, c, "AO4", []fact{f, {kind: factForb, a: c, ax: AxisDesc, b: a}})
+	}
+	// SW.
+	for k := range in.req[AxisDesc][a] {
+		if k != idNone && in.hasForb(c, AxisDesc, k) {
+			in.markUnsat(a, AxisDesc, "SW",
+				[]fact{{kind: factReq, a: a, ax: AxisDesc, b: k}, f, {kind: factForb, a: c, ax: AxisDesc, b: k}})
+		}
+	}
+	// Tree closure.
+	for _, sub := range in.treeKids[a] {
+		in.assertAbove(sub, c, "AO3", []fact{f})
+	}
+	if c != idNone {
+		if p := in.treeParent[c]; p != -1 {
+			in.assertAbove(a, p, "AO3", []fact{f})
+		}
+	}
+}
+
+func (in *Inference) onBelow(f fact) {
+	a, c := f.a, f.b
+	// BO1: if the entry cannot itself be c, the descendant is strict.
+	if in.disjoint(a, c) {
+		in.assertReq(a, AxisDesc, c, "BO1", []fact{f})
+	}
+	// BO2: downward requirements of c land strictly below a.
+	for _, ax := range []Axis{AxisChild, AxisDesc} {
+		for d := range in.req[ax][c] {
+			in.assertReq(a, AxisDesc, d, "BO2", []fact{f, {kind: factReq, a: c, ax: ax, b: d}})
+		}
+	}
+	// BO3: at-or-below is transitive.
+	for d := range in.blw[c] {
+		in.assertBelow(a, d, "BO3", []fact{f, {kind: factBelow, a: c, b: d}})
+	}
+	for s := range in.blwRev[a] {
+		in.assertBelow(s, c, "BO3", []fact{{kind: factBelow, a: s, b: a}, f})
+	}
+	// BO4: a strict c descendant would be forbidden, so the entry is c.
+	if in.hasForb(a, AxisDesc, c) {
+		in.assertSelf(a, c, "BO4", []fact{f, {kind: factForb, a: a, ax: AxisDesc, b: c}})
+	}
+	// WS: a required strict ancestor may not have c below it.
+	for x := range in.req[AxisAnc][a] {
+		if x != idNone && in.hasForb(x, AxisDesc, c) {
+			in.markUnsat(a, AxisAnc, "WS",
+				[]fact{{kind: factReq, a: a, ax: AxisAnc, b: x}, f, {kind: factForb, a: x, ax: AxisDesc, b: c}})
+		}
+	}
+	// Tree closure.
+	for _, sub := range in.treeKids[a] {
+		in.assertBelow(sub, c, "BO3", []fact{f})
+	}
+	if c != idNone {
+		if p := in.treeParent[c]; p != -1 {
+			in.assertBelow(a, p, "BO3", []fact{f})
+		}
+	}
+}
+
+func (in *Inference) onForb(f fact) {
+	ci, ax, cj := f.a, f.ax, f.b
+
+	// Rule FW: forbidding descendants forbids children.
+	if ax == AxisDesc {
+		in.assertForb(ci, AxisChild, cj, "FW", []fact{f})
+	}
+	// Rule FL: a class that may have no children has no descendants.
+	if top, hasTop := in.ids[ClassTop]; hasTop && ax == AxisChild && cj == top {
+		in.assertForb(ci, AxisDesc, top, "FL", []fact{f})
+	}
+	// Rule FS: forbidden relationships propagate to subclasses on both
+	// sides.
+	for _, sub := range in.treeKids[ci] {
+		in.assertForb(sub, ax, cj, "FS", []fact{f})
+	}
+	for _, sub := range in.treeKids[cj] {
+		in.assertForb(ci, ax, sub, "FS", []fact{f})
+	}
+	// Rule DC.
+	if in.hasReq(ci, ax, cj) {
+		in.markUnsat(ci, ax, "DC", []fact{{kind: factReq, a: ci, ax: ax, b: cj}, f})
+	}
+	// Rules PH/AH, joining from the forbidden side.
+	switch ax {
+	case AxisChild:
+		if in.hasReq(cj, AxisParent, ci) {
+			in.markUnsat(cj, AxisParent, "PH", []fact{{kind: factReq, a: cj, ax: AxisParent, b: ci}, f})
+		}
+	case AxisDesc:
+		if in.hasReq(cj, AxisAnc, ci) {
+			in.markUnsat(cj, AxisAnc, "AH", []fact{{kind: factReq, a: cj, ax: AxisAnc, b: ci}, f})
+		}
+	}
+	if top, hasTop := in.ids[ClassTop]; hasTop && ax == AxisChild {
+		// Rule RT, joining from the forbidden side: forb(top, ch, cj).
+		if ci == top {
+			for s := range in.revReq[AxisDesc][cj] {
+				in.markUnsat(s, AxisDesc, "RT", []fact{{kind: factReq, a: s, ax: AxisDesc, b: cj}, f})
+			}
+		}
+		// Rule LT, joining from the forbidden side: forb(ci, ch, top).
+		if cj == top {
+			for s := range in.revReq[AxisAnc][ci] {
+				in.markUnsat(s, AxisAnc, "LT", []fact{{kind: factReq, a: s, ax: AxisAnc, b: ci}, f})
+			}
+		}
+	}
+	if ax == AxisChild && cj != idNone && !in.opts.PairwiseOnly {
+		// Rule DPD, joining from the forbidden side: forb(ci, ch, cj).
+		if in.hasReq(ci, AxisDesc, cj) {
+			for ck := range in.req[AxisParent][cj] {
+				if ck != idNone {
+					in.assertReq(ci, AxisDesc, ck, "DPD",
+						[]fact{{kind: factReq, a: ci, ax: AxisDesc, b: cj}, {kind: factReq, a: cj, ax: AxisParent, b: ck}, f})
+				}
+			}
+		}
+	}
+	if ax == AxisDesc {
+		// Rule PA, joining from the forbidden side: forb(ck=ci, de, cj).
+		for s := range in.revReq[AxisAnc][ci] {
+			if _, ok := in.req[AxisParent][s][cj]; ok && in.disjoint(cj, ci) {
+				in.markUnsat(s, AxisParent, "PA",
+					[]fact{{kind: factReq, a: s, ax: AxisParent, b: cj}, {kind: factReq, a: s, ax: AxisAnc, b: ci}, f})
+			}
+		}
+		// Rule AA, joining from the forbidden side.
+		if in.hasForb(cj, AxisDesc, ci) && in.disjoint(ci, cj) {
+			for s := range in.revReq[AxisAnc][ci] {
+				if _, ok := in.req[AxisAnc][s][cj]; ok {
+					in.markUnsat(s, AxisAnc, "AA",
+						[]fact{{kind: factReq, a: s, ax: AxisAnc, b: ci}, {kind: factReq, a: s, ax: AxisAnc, b: cj}, f})
+				}
+			}
+		}
+		// AO4 join: new forb(ci, de, cj) with above(cj, ci).
+		if _, ok := in.abv[cj][ci]; ok {
+			in.assertSelf(cj, ci, "AO4", []fact{{kind: factAbove, a: cj, b: ci}, f})
+		}
+		// BO4 join: new forb(ci, de, cj) with below(ci, cj).
+		if _, ok := in.blw[ci][cj]; ok {
+			in.assertSelf(ci, cj, "BO4", []fact{{kind: factBelow, a: ci, b: cj}, f})
+		}
+		// WS join: new forb(ci, de, cj): sources requiring ci strictly
+		// above them while cj is at-or-below them.
+		for s := range in.revReq[AxisAnc][ci] {
+			if _, ok := in.blw[s][cj]; ok {
+				in.markUnsat(s, AxisAnc, "WS",
+					[]fact{{kind: factReq, a: s, ax: AxisAnc, b: ci}, {kind: factBelow, a: s, b: cj}, f})
+			}
+		}
+		// SW join: new forb(ci, de, cj); sources at-or-below ci that
+		// require cj strictly below them.
+		for s := range in.abvRev[ci] {
+			if in.hasReq(s, AxisDesc, cj) {
+				in.markUnsat(s, AxisDesc, "SW",
+					[]fact{{kind: factReq, a: s, ax: AxisDesc, b: cj}, {kind: factAbove, a: s, b: ci}, f})
+			}
+		}
+	}
+	// SF joins: self-classes absorb prohibitions on either side.
+	for s := range in.selfRev[ci] {
+		in.assertForb(s, ax, cj, "SF", []fact{{kind: factSelf, a: s, b: ci}, f})
+	}
+	for s := range in.selfRev[cj] {
+		in.assertForb(ci, ax, s, "SF", []fact{{kind: factSelf, a: s, b: cj}, f})
+	}
+}
+
+// chainFeasibility runs the general Ancestorhood analysis: for every
+// class, the required ancestors (plus the merged required parent) must
+// admit an arrangement on a single ancestor chain. Pairs are handled by
+// rules MP/PA/AA; this pass detects forced-order *cycles* of length ≥ 3:
+// ancestors x → y ("x must sit above y") whenever y may not sit above x
+// (forb(y,de,x)) and the two cannot merge (disjoint). It reports whether
+// any new fact was derived.
+func (in *Inference) chainFeasibility() bool {
+	derived := false
+	n := len(in.names)
+	for ci := 1; ci < n; ci++ {
+		if in.unsat[ci] {
+			continue
+		}
+		if in.paChainInfeasible(ci) {
+			derived = true
+			continue
+		}
+		anc := in.req[AxisAnc][ci]
+		if len(anc) < 3 {
+			continue // pairs are covered by MP/PA/AA
+		}
+		nodes := make([]int, 0, len(anc))
+		for a := range anc {
+			if a != idNone {
+				nodes = append(nodes, a)
+			}
+		}
+		sort.Ints(nodes)
+		// Forced-above edges x -> y.
+		adj := make(map[int][]int, len(nodes))
+		for _, x := range nodes {
+			for _, y := range nodes {
+				if x == y || !in.disjoint(x, y) {
+					continue
+				}
+				if in.hasForb(y, AxisDesc, x) {
+					adj[x] = append(adj[x], y)
+				}
+			}
+		}
+		if cycleStart, ok := digraphCycle(nodes, adj); ok {
+			in.markUnsat(ci, AxisAnc, "CHAIN",
+				[]fact{{kind: factReq, a: ci, ax: AxisAnc, b: cycleStart}})
+			derived = true
+		}
+	}
+	return derived
+}
+
+// paChainInfeasible implements the general Parenthood/Ancestorhood
+// placement analysis: the parent requirements of ci force the classes of
+// its first k ancestors exactly (level i holds the required parent
+// classes of level i-1), so every required strict ancestor must either
+// merge into one of those k forced levels or sit above the chain's end.
+// If some required ancestor has no feasible position, ci is
+// unsatisfiable. Pairwise cases are also caught by PA/AH/MP; this pass
+// covers chains of length ≥ 2.
+func (in *Inference) paChainInfeasible(ci int) bool {
+	levels := in.paChainLevels(ci)
+	if levels == nil || len(levels) <= 1 {
+		return false // no forced chain; pairwise rules cover
+	}
+	derived := false
+	for x := range in.req[AxisAnc][ci] {
+		if x == idNone {
+			continue
+		}
+		// The placed ancestor brings its own forced parent chain; its
+		// members must coexist with (or sit above) everything below
+		// their eventual position.
+		xChain := in.paChainLevels(x)
+		if xChain == nil {
+			continue // x's own chain cycles; rules L/U handle it
+		}
+		placeable := false
+		// Merge x into a forced level i ≥ 1; x's chain then overlays the
+		// levels above i (and extends past the end).
+		for i := 1; i < len(levels) && !placeable; i++ {
+			placeable = in.chainFitsAt(levels, xChain, i)
+		}
+		// Or x (with its chain) sits wholly above the chain's end.
+		if !placeable {
+			placeable = in.chainFitsAt(levels, xChain, len(levels))
+		}
+		if !placeable {
+			in.markUnsat(ci, AxisAnc, "PCH",
+				[]fact{{kind: factReq, a: ci, ax: AxisAnc, b: x}})
+			derived = true
+		}
+	}
+	return derived
+}
+
+// paChainLevels returns the forced ancestor levels of class c: level 0 is
+// {c}, level k+1 the union of required parent classes of level k. It
+// returns nil when the chain exceeds the class count (a cycle, which the
+// loop rules flag separately).
+func (in *Inference) paChainLevels(c int) [][]int {
+	levels := [][]int{{c}}
+	for {
+		cur := levels[len(levels)-1]
+		next := make(map[int]struct{})
+		for _, x := range cur {
+			for t := range in.req[AxisParent][x] {
+				if t != idNone {
+					next[t] = struct{}{}
+				}
+			}
+		}
+		if len(next) == 0 {
+			return levels
+		}
+		if len(levels) > len(in.names) {
+			return nil
+		}
+		lv := make([]int, 0, len(next))
+		for t := range next {
+			lv = append(lv, t)
+		}
+		sort.Ints(lv)
+		levels = append(levels, lv)
+	}
+}
+
+// chainFitsAt reports whether xChain's members, placed at levels
+// pos, pos+1, ... of the base chain (merging where a base level exists,
+// extending above its end otherwise), respect single inheritance and the
+// closed forbidden-descendant facts against every base member below them.
+func (in *Inference) chainFitsAt(base, xChain [][]int, pos int) bool {
+	for j, lv := range xChain {
+		at := pos + j
+		for _, m := range lv {
+			// Merge compatibility with an existing base level.
+			if at < len(base) {
+				for _, y := range base[at] {
+					if in.disjoint(m, y) {
+						return false
+					}
+				}
+			}
+			// m sits above every base member strictly below position at.
+			limit := at
+			if limit > len(base) {
+				limit = len(base)
+			}
+			for k := 0; k < limit; k++ {
+				for _, y := range base[k] {
+					if in.hasForb(m, AxisDesc, y) {
+						return false
+					}
+				}
+			}
+			// ... and below the base members strictly above it.
+			for k := at + 1; k < len(base); k++ {
+				for _, y := range base[k] {
+					if in.hasForb(y, AxisDesc, m) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// digraphCycle reports whether the directed graph has a cycle, returning
+// a node on it.
+func digraphCycle(nodes []int, adj map[int][]int) (int, bool) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int, len(nodes))
+	var dfs func(u int) (int, bool)
+	dfs = func(u int) (int, bool) {
+		color[u] = gray
+		for _, v := range adj[u] {
+			switch color[v] {
+			case gray:
+				return v, true
+			case white:
+				if c, ok := dfs(v); ok {
+					return c, true
+				}
+			}
+		}
+		color[u] = black
+		return 0, false
+	}
+	for _, u := range nodes {
+		if color[u] == white {
+			if c, ok := dfs(u); ok {
+				return c, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------
+// Results.
+
+// Inconsistent reports whether Exists(∅) was derived: the schema admits
+// no legal instance.
+func (in *Inference) Inconsistent() bool { return in.inconsistent }
+
+// Unsatisfiable reports whether the closure proves that no entry of
+// class c can occur in any legal instance.
+func (in *Inference) Unsatisfiable(c string) bool {
+	id, ok := in.ids[c]
+	return ok && in.unsat[id]
+}
+
+// MustExist reports whether the closure proves that every legal instance
+// contains an entry of class c.
+func (in *Inference) MustExist(c string) bool {
+	id, ok := in.ids[c]
+	return ok && in.exists[id]
+}
+
+// Derived returns every closed schema element as Element values:
+// RequiredClass for exists facts, RequiredRel and ForbiddenRel for the
+// relationship facts (with ∅ rendered as ClassNone).
+func (in *Inference) Derived() []Element {
+	var out []Element
+	for c, ok := range in.exists {
+		if ok {
+			out = append(out, RequiredClass{Class: in.names[c]})
+		}
+	}
+	for ax := Axis(0); ax < 4; ax++ {
+		for src, tgts := range in.req[ax] {
+			for tgt := range tgts {
+				out = append(out, RequiredRel{Source: in.names[src], Axis: ax, Target: in.names[tgt]})
+			}
+		}
+	}
+	for ax := Axis(0); ax < 2; ax++ {
+		for upper, lowers := range in.forb[ax] {
+			for lower := range lowers {
+				out = append(out, ForbiddenRel{Upper: in.names[upper], Axis: ax, Lower: in.names[lower]})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ElementString() < out[j].ElementString() })
+	return out
+}
+
+// NumFacts returns the number of closed facts, the size measure for the
+// polynomial bound of Theorem 5.2.
+func (in *Inference) NumFacts() int { return len(in.prov) }
+
+// Explain returns a human-readable derivation of the given element, or
+// "" if it was not derived. For an inconsistent schema,
+// Explain(RequiredClass{Class: ClassNone}) explains the inconsistency.
+func (in *Inference) Explain(el Element) string {
+	f, ok := in.factOf(el)
+	if !ok {
+		return ""
+	}
+	var b strings.Builder
+	seen := make(map[fact]bool)
+	in.explainFact(&b, f, 0, seen)
+	return b.String()
+}
+
+// ExplainInconsistency returns the derivation of Exists(∅), or "" if the
+// schema is consistent.
+func (in *Inference) ExplainInconsistency() string {
+	if !in.inconsistent {
+		return ""
+	}
+	return in.Explain(RequiredClass{Class: ClassNone})
+}
+
+func (in *Inference) factOf(el Element) (fact, bool) {
+	switch e := el.(type) {
+	case RequiredClass:
+		id, ok := in.ids[e.Class]
+		if !ok || !in.exists[id] {
+			return fact{}, false
+		}
+		return fact{kind: factExists, a: id}, true
+	case RequiredRel:
+		si, ok1 := in.ids[e.Source]
+		ti, ok2 := in.ids[e.Target]
+		if !ok1 || !ok2 || !in.hasReq(si, e.Axis, ti) {
+			return fact{}, false
+		}
+		return fact{kind: factReq, a: si, ax: e.Axis, b: ti}, true
+	case ForbiddenRel:
+		ui, ok1 := in.ids[e.Upper]
+		li, ok2 := in.ids[e.Lower]
+		if !ok1 || !ok2 || !in.hasForb(ui, e.Axis, li) {
+			return fact{}, false
+		}
+		return fact{kind: factForb, a: ui, ax: e.Axis, b: li}, true
+	}
+	return fact{}, false
+}
+
+func (in *Inference) explainFact(b *strings.Builder, f fact, depth int, seen map[fact]bool) {
+	fmt.Fprintf(b, "%s%s", strings.Repeat("  ", depth), in.factString(f))
+	p, ok := in.prov[f]
+	if !ok {
+		b.WriteString(" (assumed)\n")
+		return
+	}
+	fmt.Fprintf(b, " [%s]\n", p.rule)
+	if seen[f] {
+		return
+	}
+	seen[f] = true
+	for _, prem := range p.premises {
+		in.explainFact(b, prem, depth+1, seen)
+	}
+}
+
+func (in *Inference) factString(f fact) string {
+	switch f.kind {
+	case factExists:
+		return RequiredClass{Class: in.names[f.a]}.ElementString()
+	case factReq:
+		return RequiredRel{Source: in.names[f.a], Axis: f.ax, Target: in.names[f.b]}.ElementString()
+	case factForb:
+		return ForbiddenRel{Upper: in.names[f.a], Axis: f.ax, Lower: in.names[f.b]}.ElementString()
+	case factSelf:
+		return in.names[f.a] + " self " + in.names[f.b]
+	case factAbove:
+		return in.names[f.a] + " at-or-below " + in.names[f.b]
+	case factBelow:
+		return in.names[f.a] + " at-or-above " + in.names[f.b]
+	}
+	return "?"
+}

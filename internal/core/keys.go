@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"boundschema/internal/dirtree"
+)
+
+// This file implements the Section 6.1 "Keys" discussion: beyond the
+// distinguished name (which is a key by construction), other keys "can
+// easily be incorporated in our framework as values of attributes", and
+// "given the relatively loose notion of an object class, any notion of a
+// key in an LDAP directory must be unique across all entries in the
+// directory instance, not just within a single object class".
+//
+// A key attribute therefore demands: no value of the attribute occurs on
+// two distinct entries, anywhere in the instance. Checking is a single
+// hash pass (CheckKeys); insertions are incrementally testable by probing
+// only the inserted subtree's values against an index (KeyIndex);
+// deletions cannot violate uniqueness.
+
+// DeclareKey marks an attribute as a key: its values must be unique
+// across all entries of any legal instance.
+func (s *Schema) DeclareKey(attr string) {
+	if s.keys == nil {
+		s.keys = make(map[string]struct{})
+	}
+	s.keys[attr] = struct{}{}
+}
+
+// Keys returns the declared key attributes, sorted.
+func (s *Schema) Keys() []string { return sortedKeys(s.keys) }
+
+// IsKey reports whether attr was declared a key.
+func (s *Schema) IsKey(attr string) bool {
+	_, ok := s.keys[attr]
+	return ok
+}
+
+// CheckKeys verifies instance-wide uniqueness of every key attribute's
+// values, one hash pass over the instance.
+func (c *Checker) CheckKeys(d *dirtree.Directory) *Report {
+	r := &Report{}
+	keys := c.schema.Keys()
+	if len(keys) == 0 {
+		return r
+	}
+	seen := make(map[keyVal]*dirtree.Entry)
+	for _, e := range d.Entries() {
+		c.checkEntryKeys(e, seen, r)
+	}
+	return r
+}
+
+type keyVal struct {
+	attr  string
+	value string
+}
+
+func (c *Checker) checkEntryKeys(e *dirtree.Entry, seen map[keyVal]*dirtree.Entry, r *Report) {
+	for _, attr := range c.schema.Keys() {
+		for _, v := range e.Attr(attr) {
+			kv := keyVal{attr: attr, value: v.String()}
+			if prev, dup := seen[kv]; dup && prev != e {
+				r.Add(Violation{Kind: ViolationDuplicateKey, Entry: e,
+					Detail: fmt.Sprintf("key %s=%q already used by %s", attr, v.String(), prev.DN())})
+				continue
+			}
+			seen[kv] = e
+		}
+	}
+}
+
+// KeyIndex maintains the key-value → entry map alongside a directory, so
+// insertions are checked against existing values in O(|Δ| values) — the
+// key analogue of the Figure 5 incremental tests. Deletions only remove
+// index entries; they cannot violate uniqueness.
+type KeyIndex struct {
+	schema *Schema
+	seen   map[keyVal]string // value -> DN of the holding entry
+}
+
+// NewKeyIndex builds the index over the current instance. It does not
+// verify uniqueness of the existing values; run CheckKeys first if the
+// instance is untrusted.
+func NewKeyIndex(s *Schema, d *dirtree.Directory) *KeyIndex {
+	ki := &KeyIndex{schema: s, seen: make(map[keyVal]string)}
+	for _, e := range d.Entries() {
+		ki.note(e)
+	}
+	return ki
+}
+
+func (ki *KeyIndex) note(e *dirtree.Entry) {
+	for _, attr := range ki.schema.Keys() {
+		for _, v := range e.Attr(attr) {
+			ki.seen[keyVal{attr, v.String()}] = e.DN()
+		}
+	}
+}
+
+// CheckInsert reports the key violations the subtree's entries would
+// introduce (against the pre-insertion index and against each other).
+func (ki *KeyIndex) CheckInsert(d *dirtree.Directory, root *dirtree.Entry) *Report {
+	return ki.CheckInsertExcluding(d, root, nil)
+}
+
+// CheckInsertExcluding is CheckInsert with an exclusion predicate: a
+// collision with an existing holder is excused when excluded(holderDN)
+// reports true. The transaction applier uses it so a moved subtree does
+// not collide with its own origin, which the same update deletes.
+func (ki *KeyIndex) CheckInsertExcluding(d *dirtree.Directory, root *dirtree.Entry, excluded func(dn string) bool) *Report {
+	r := &Report{}
+	local := make(map[keyVal]string)
+	for _, e := range d.SubtreeView(root).Entries() {
+		for _, attr := range ki.schema.Keys() {
+			for _, v := range e.Attr(attr) {
+				kv := keyVal{attr, v.String()}
+				if dn, dup := ki.seen[kv]; dup && (excluded == nil || !excluded(dn)) {
+					r.Add(Violation{Kind: ViolationDuplicateKey, Entry: e,
+						Detail: fmt.Sprintf("key %s=%q already used by %s", attr, v.String(), dn)})
+					continue
+				}
+				if dn, dup := local[kv]; dup {
+					r.Add(Violation{Kind: ViolationDuplicateKey, Entry: e,
+						Detail: fmt.Sprintf("key %s=%q duplicated within the insertion (also on %s)", attr, v.String(), dn)})
+					continue
+				}
+				local[kv] = e.DN()
+			}
+		}
+	}
+	return r
+}
+
+// NoteInsert records the subtree's key values after a successful insert.
+func (ki *KeyIndex) NoteInsert(d *dirtree.Directory, root *dirtree.Entry) {
+	for _, e := range d.SubtreeView(root).Entries() {
+		ki.note(e)
+	}
+}
+
+// NoteDelete forgets the subtree's key values before deletion. A value
+// is removed only while the index still attributes it to the deleted
+// entry, so a move (which re-attributes the value to the destination
+// before the origin is deleted) keeps its key indexed.
+func (ki *KeyIndex) NoteDelete(d *dirtree.Directory, root *dirtree.Entry) {
+	for _, e := range d.SubtreeView(root).Entries() {
+		dn := e.DN()
+		for _, attr := range ki.schema.Keys() {
+			for _, v := range e.Attr(attr) {
+				kv := keyVal{attr, v.String()}
+				if ki.seen[kv] == dn {
+					delete(ki.seen, kv)
+				}
+			}
+		}
+	}
+}
+
+// Rebuild recomputes the index from scratch (after a rollback).
+func (ki *KeyIndex) Rebuild(d *dirtree.Directory) {
+	ki.seen = make(map[keyVal]string)
+	for _, e := range d.Entries() {
+		ki.note(e)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Lint inspects a schema for quality problems short of inconsistency —
+// the diagnostics a schema author wants before deployment. Findings do
+// not affect legality; they flag dead weight and latent traps:
+//
+//   - unsatisfiable classes (no legal instance can populate them);
+//   - auxiliary classes no core class allows (undeclarable in practice);
+//   - classes carrying attribute requirements but unreachable from the
+//     structure schema or attribute allowances (likely typos);
+//   - redundant structure elements: elements derivable from the rest of
+//     the schema by the Figure 6/7 inference system, so removing them
+//     changes nothing about which instances are legal... almost — see
+//     RedundantElements for the exact guarantee.
+type LintFinding struct {
+	// Kind is a stable identifier: unsatisfiable-class, orphan-aux,
+	// unused-class, redundant-element.
+	Kind string
+	// Subject names the class or renders the element concerned.
+	Subject string
+	Detail  string
+}
+
+func (f LintFinding) String() string {
+	return fmt.Sprintf("%-20s %-28s %s", f.Kind, f.Subject, f.Detail)
+}
+
+// Lint returns the findings for the schema, deterministic in order.
+func Lint(s *Schema) []LintFinding {
+	var out []LintFinding
+	in := Infer(s)
+
+	// Unsatisfiable classes that the schema still talks about.
+	for _, c := range s.Classes.CoreClasses() {
+		if in.Unsatisfiable(c) {
+			out = append(out, LintFinding{
+				Kind:    "unsatisfiable-class",
+				Subject: c,
+				Detail:  "no legal instance can contain an entry of this class",
+			})
+		}
+	}
+
+	// Auxiliary classes no core class allows.
+	allowed := make(map[string]bool)
+	for _, c := range s.Classes.CoreClasses() {
+		for _, x := range s.Classes.AuxesOf(c) {
+			allowed[x] = true
+		}
+	}
+	for _, x := range s.Classes.AuxClasses() {
+		if !allowed[x] {
+			out = append(out, LintFinding{
+				Kind:    "orphan-aux",
+				Subject: x,
+				Detail:  "declared auxiliary class is allowed by no core class",
+			})
+		}
+	}
+
+	// Leaf core classes that nothing references: no attributes, no
+	// structure elements, no subclasses, no aux allowances.
+	structClasses := toSet(s.Structure.Classes())
+	attrClasses := toSet(s.Attrs.Classes())
+	for _, c := range s.Classes.CoreClasses() {
+		if c == ClassTop {
+			continue
+		}
+		if len(s.Classes.Subclasses(c)) > 0 {
+			continue
+		}
+		_, inStruct := structClasses[c]
+		_, inAttrs := attrClasses[c]
+		if !inStruct && !inAttrs && len(s.Classes.AuxesOf(c)) == 0 {
+			out = append(out, LintFinding{
+				Kind:    "unused-class",
+				Subject: c,
+				Detail:  "leaf core class with no attributes, structure elements or auxiliaries",
+			})
+		}
+	}
+
+	for _, el := range RedundantElements(s) {
+		out = append(out, LintFinding{
+			Kind:    "redundant-element",
+			Subject: el.ElementString(),
+			Detail:  "derivable from the remaining schema elements (Figures 6-7)",
+		})
+	}
+	return out
+}
+
+// RedundantElements returns the structure-schema elements that the rest
+// of the schema derives via the inference system: dropping such an
+// element keeps every remaining-legal instance identical in the "schema
+// implies element" sense of Theorem 5.1. (Because the inference system is
+// sound but deliberately incomplete as a logic, the converse — flagging
+// every semantically redundant element — is not promised.)
+func RedundantElements(s *Schema) []Element {
+	var out []Element
+	check := func(without *Schema, el Element) bool {
+		in := Infer(without)
+		f, ok := in.factOf(el)
+		if !ok {
+			return false
+		}
+		_ = f
+		return true
+	}
+
+	for _, rc := range s.Structure.RequiredClasses() {
+		without := s.Clone()
+		removeRequiredClass(without.Structure, rc)
+		if check(without, RequiredClass{Class: rc}) {
+			out = append(out, RequiredClass{Class: rc})
+		}
+	}
+	for _, rel := range s.Structure.RequiredRels() {
+		without := s.Clone()
+		removeRequiredRel(without.Structure, rel)
+		if check(without, rel) {
+			out = append(out, rel)
+		}
+	}
+	for _, rel := range s.Structure.ForbiddenRels() {
+		without := s.Clone()
+		removeForbiddenRel(without.Structure, rel)
+		if check(without, rel) {
+			out = append(out, rel)
+		}
+	}
+	return out
+}
+
+func removeRequiredClass(ss *StructureSchema, c string) {
+	delete(ss.required, c)
+}
+
+func removeRequiredRel(ss *StructureSchema, r RequiredRel) {
+	delete(ss.reqRels, r)
+}
+
+func removeForbiddenRel(ss *StructureSchema, r ForbiddenRel) {
+	delete(ss.forbRels, r)
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"boundschema/internal/hquery"
+)
+
+// QueryFacts adapts an inference closure to hquery.SchemaFacts, enabling
+// the schema-aware query optimization the paper's conclusion sketches
+// ("query optimization is facilitated using schema"): on instances legal
+// under the schema, guaranteed relationships collapse joins and
+// forbidden relationships empty them.
+type QueryFacts struct {
+	in *Inference
+}
+
+// NewQueryFacts derives optimization facts from the schema's closure.
+func NewQueryFacts(s *Schema) QueryFacts { return QueryFacts{in: Infer(s)} }
+
+// UnsatClass implements hquery.SchemaFacts.
+func (f QueryFacts) UnsatClass(c string) bool {
+	id, ok := f.in.ids[c]
+	if !ok {
+		// A class absent from the schema cannot occur in a legal
+		// instance (Definition 2.7's "only object classes mentioned in
+		// the schema").
+		return !f.in.schema.Classes.IsAux(c)
+	}
+	return f.in.unsat[id]
+}
+
+// Required implements hquery.SchemaFacts.
+func (f QueryFacts) Required(ci, axis, cj string) bool {
+	ax, ok := parseFactAxis(axis)
+	if !ok {
+		return false
+	}
+	si, ok1 := f.in.ids[ci]
+	ti, ok2 := f.in.ids[cj]
+	if !ok1 || !ok2 {
+		return false
+	}
+	return f.in.hasReq(si, ax, ti)
+}
+
+// Forbidden implements hquery.SchemaFacts.
+func (f QueryFacts) Forbidden(ci, axis, cj string) bool {
+	ax, ok := parseFactAxis(axis)
+	if !ok || !ax.Downward() {
+		return false
+	}
+	ui, ok1 := f.in.ids[ci]
+	li, ok2 := f.in.ids[cj]
+	if !ok1 || !ok2 {
+		return false
+	}
+	return f.in.hasForb(ui, ax, li)
+}
+
+func parseFactAxis(axis string) (Axis, bool) {
+	a, err := ParseAxis(axis)
+	if err != nil {
+		return 0, false
+	}
+	return a, true
+}
+
+// OptimizeQuery rewrites a hierarchical selection query using the
+// schema's guarantees; the result is equivalent on every instance legal
+// under the schema.
+func OptimizeQuery(q hquery.Query, s *Schema) hquery.Query {
+	return hquery.Optimize(q, NewQueryFacts(s))
+}
+
+// GuaranteedElements returns the structure-schema elements whose Figure 4
+// violation queries optimize to statically-empty form — elements the
+// schema itself guarantees, needing no evaluation at all during legality
+// checks of instances already known to satisfy the rest of the schema.
+func GuaranteedElements(s *Schema) []Element {
+	facts := NewQueryFacts(s)
+	var out []Element
+	for _, rel := range s.Structure.RequiredRels() {
+		if hquery.IsStaticallyEmpty(hquery.Optimize(RequiredRelQuery(rel), facts)) {
+			out = append(out, rel)
+		}
+	}
+	for _, rel := range s.Structure.ForbiddenRels() {
+		if hquery.IsStaticallyEmpty(hquery.Optimize(ForbiddenRelQuery(rel), facts)) {
+			out = append(out, rel)
+		}
+	}
+	return out
+}

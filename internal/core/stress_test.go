@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// bigRandomSchema is a denser generator than randomConsistencySchema:
+// deeper hierarchies and more structure elements, to stress the
+// inference/chase agreement.
+func bigRandomSchema(t testing.TB, rng *rand.Rand) *Schema {
+	s := NewSchema()
+	n := rng.Intn(8) + 3
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "k" + strconv.Itoa(i)
+		super := ClassTop
+		if i > 0 && rng.Intn(3) != 0 {
+			super = names[rng.Intn(i)]
+		}
+		if err := s.Classes.AddCore(names[i], super); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pick := func() string { return names[rng.Intn(n)] }
+	for i := 0; i < rng.Intn(12)+2; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			s.Structure.RequireClass(pick())
+		case 1, 2:
+			s.Structure.RequireRel(pick(), Axis(rng.Intn(4)), pick())
+		default:
+			_ = s.Structure.ForbidRel(pick(), Axis(rng.Intn(2)), pick())
+		}
+	}
+	return s
+}
+
+// TestStressChaseAgreement cross-validates the polynomial consistency
+// decision against the constructive chase and a brute-force model search
+// over thousands of random schemas. It is the repository's completeness
+// evidence for the reconstructed Figure 6/7 rule set (DESIGN.md).
+func TestStressChaseAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	bad := 0
+	for seed := int64(0); seed < 8000; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var s *Schema
+		if seed%2 == 0 {
+			s = randomConsistencySchema(t, rng)
+		} else {
+			s = bigRandomSchema(t, rng)
+		}
+		if !s.Consistent() {
+			if seed%2 == 0 && bruteForceHasModel(t, s, 3) {
+				t.Errorf("seed %d: closure inconsistent but model exists: %v", seed, elementStrings(s))
+				bad++
+			}
+			continue
+		}
+		d, err := Materialize(s)
+		if err != nil {
+			t.Errorf("seed %d: consistent but chase failed: %v\n%v", seed, err, elementStrings(s))
+			bad++
+			continue
+		}
+		if r := NewChecker(s).Check(d); !r.Legal() {
+			t.Errorf("seed %d: witness illegal: %s", seed, r)
+			bad++
+		}
+		if bad > 5 {
+			t.Fatal("too many failures")
+		}
+	}
+}

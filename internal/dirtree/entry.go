@@ -1,0 +1,231 @@
+package dirtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AttrObjectClass is the special attribute whose values are, by condition
+// 3(b) of Definition 2.1, exactly the object classes the entry belongs to.
+const AttrObjectClass = "objectClass"
+
+// Entry is a directory entry: a node of the forest holding a finite,
+// non-empty set of object classes and a finite set of (attribute, value)
+// pairs (Definition 2.1). Entries are created and mutated only through
+// their owning Directory.
+type Entry struct {
+	dir      *Directory
+	id       int
+	rdn      string // relative distinguished name, e.g. "uid=laks"
+	parent   *Entry // nil for roots
+	children []*Entry
+
+	classes map[string]struct{}
+	attrs   map[string][]Value
+
+	// Interval encoding, valid while dir.encodedEpoch == dir.epoch.
+	pre, post, depth int
+}
+
+// ID returns the entry's directory-unique identifier. IDs are stable across
+// structural mutations and are never reused within one Directory.
+func (e *Entry) ID() int { return e.id }
+
+// RDN returns the entry's relative distinguished name.
+func (e *Entry) RDN() string { return e.rdn }
+
+// DN returns the entry's distinguished name: its RDN followed by the DNs of
+// its ancestors, leaf-first, comma-separated, in the LDAP convention
+// ("uid=laks,ou=databases,ou=attLabs,o=att").
+func (e *Entry) DN() string {
+	var parts []string
+	for n := e; n != nil; n = n.parent {
+		parts = append(parts, n.rdn)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parent returns the entry's parent, or nil if the entry is a forest root.
+func (e *Entry) Parent() *Entry { return e.parent }
+
+// Children returns the entry's children. The returned slice is owned by the
+// directory and must not be modified.
+func (e *Entry) Children() []*Entry { return e.children }
+
+// IsLeaf reports whether the entry has no children.
+func (e *Entry) IsLeaf() bool { return len(e.children) == 0 }
+
+// Directory returns the directory that owns this entry.
+func (e *Entry) Directory() *Directory { return e.dir }
+
+// HasClass reports whether the entry belongs to object class c.
+func (e *Entry) HasClass(c string) bool {
+	_, ok := e.classes[c]
+	return ok
+}
+
+// Classes returns the entry's object classes in sorted order.
+func (e *Entry) Classes() []string {
+	out := make([]string, 0, len(e.classes))
+	for c := range e.classes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumClasses returns |class(e)|.
+func (e *Entry) NumClasses() int { return len(e.classes) }
+
+// AddClass adds object class c to the entry. Adding a class the entry
+// already belongs to is a no-op.
+func (e *Entry) AddClass(c string) {
+	if _, ok := e.classes[c]; ok {
+		return
+	}
+	e.classes[c] = struct{}{}
+	e.dir.touchContent()
+}
+
+// RemoveClass removes object class c from the entry if present.
+func (e *Entry) RemoveClass(c string) {
+	if _, ok := e.classes[c]; !ok {
+		return
+	}
+	delete(e.classes, c)
+	e.dir.touchContent()
+}
+
+// Attr returns the values of the named attribute. For objectClass it
+// returns the class set as string values, maintaining condition 3(b) of
+// Definition 2.1. The returned slice must not be modified.
+func (e *Entry) Attr(name string) []Value {
+	if name == AttrObjectClass {
+		cs := e.Classes()
+		out := make([]Value, len(cs))
+		for i, c := range cs {
+			out[i] = String(c)
+		}
+		return out
+	}
+	return e.attrs[name]
+}
+
+// HasAttr reports whether the entry has at least one value for the named
+// attribute.
+func (e *Entry) HasAttr(name string) bool {
+	if name == AttrObjectClass {
+		return len(e.classes) > 0
+	}
+	return len(e.attrs[name]) > 0
+}
+
+// AttrNames returns the names of the entry's attributes (objectClass
+// included when the entry has classes), sorted.
+func (e *Entry) AttrNames() []string {
+	out := make([]string, 0, len(e.attrs)+1)
+	for a := range e.attrs {
+		out = append(out, a)
+	}
+	if len(e.classes) > 0 {
+		out = append(out, AttrObjectClass)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumPairs returns |val(e)|, the number of (attribute, value) pairs held by
+// the entry, counting the implicit objectClass pairs.
+func (e *Entry) NumPairs() int {
+	n := len(e.classes)
+	for _, vs := range e.attrs {
+		n += len(vs)
+	}
+	return n
+}
+
+// AddValue appends a value to the named attribute. Adding to objectClass is
+// equivalent to AddClass with the value's text. Duplicate values are
+// ignored, keeping val(e) a set.
+func (e *Entry) AddValue(name string, v Value) {
+	if name == AttrObjectClass {
+		e.AddClass(v.String())
+		return
+	}
+	for _, have := range e.attrs[name] {
+		if have.Equal(v) {
+			return
+		}
+	}
+	if e.attrs == nil {
+		e.attrs = make(map[string][]Value)
+	}
+	e.attrs[name] = append(e.attrs[name], v)
+	e.dir.touchContent()
+}
+
+// SetValues replaces all values of the named attribute. An empty values
+// slice removes the attribute.
+func (e *Entry) SetValues(name string, values ...Value) {
+	if name == AttrObjectClass {
+		e.classes = make(map[string]struct{}, len(values))
+		for _, v := range values {
+			e.classes[v.String()] = struct{}{}
+		}
+		e.dir.touchContent()
+		return
+	}
+	if len(values) == 0 {
+		delete(e.attrs, name)
+		e.dir.touchContent()
+		return
+	}
+	if e.attrs == nil {
+		e.attrs = make(map[string][]Value)
+	}
+	e.attrs[name] = append([]Value(nil), values...)
+	e.dir.touchContent()
+}
+
+// RemoveValue removes one value from the named attribute if present.
+func (e *Entry) RemoveValue(name string, v Value) {
+	if name == AttrObjectClass {
+		e.RemoveClass(v.String())
+		return
+	}
+	vs := e.attrs[name]
+	for i, have := range vs {
+		if have.Equal(v) {
+			e.attrs[name] = append(vs[:i:i], vs[i+1:]...)
+			if len(e.attrs[name]) == 0 {
+				delete(e.attrs, name)
+			}
+			e.dir.touchContent()
+			return
+		}
+	}
+}
+
+// Pre returns the entry's pre-order rank in the current encoding. The
+// owning directory's encoding must be current (Directory.EnsureEncoded).
+func (e *Entry) Pre() int { return e.pre }
+
+// Post returns the largest pre-order rank in the entry's subtree, so that
+// d is a descendant-or-self of e iff e.pre <= d.pre <= e.post.
+func (e *Entry) Post() int { return e.post }
+
+// Depth returns the entry's depth (roots have depth 0) in the current
+// encoding.
+func (e *Entry) Depth() int { return e.depth }
+
+// IsAncestorOf reports whether e is a proper ancestor of d. Both entries
+// must belong to the same directory, whose encoding must be current.
+func (e *Entry) IsAncestorOf(d *Entry) bool {
+	return e != d && e.pre <= d.pre && d.pre <= e.post
+}
+
+// String renders the entry as "dn (class,class,...)" for diagnostics.
+func (e *Entry) String() string {
+	return fmt.Sprintf("%s (%s)", e.DN(), strings.Join(e.Classes(), ","))
+}

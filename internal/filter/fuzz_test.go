@@ -1,0 +1,58 @@
+package filter
+
+import (
+	"testing"
+
+	"boundschema/internal/dirtree"
+)
+
+// FuzzParse checks that the filter parser never panics and that every
+// successfully parsed filter round-trips through its String form to an
+// equivalent filter (same rendering, same match behavior on a probe
+// entry).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"(objectClass=person)",
+		"(mail=*)",
+		"(mail=a*b*c)",
+		"(age>=40)",
+		"(age<=40)",
+		"(cn~=jo hn)",
+		"(&(a=1)(|(b=2)(!(c=3))))",
+		"(a=\\28escaped\\29)",
+		"((((",
+		"(a=b))))(",
+		"(&)",
+		"(|)",
+		"(a=*)(b=*)",
+		"(a>=)",
+		"(=x)",
+		"(a=\\zz)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	d := dirtree.New(nil)
+	probe, _ := d.AddRoot("uid=probe", "person", "top")
+	probe.AddValue("mail", dirtree.String("probe@example.org"))
+	probe.AddValue("age", dirtree.String("40"))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		flt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := flt.String()
+		again, err := Parse(text)
+		if err != nil {
+			t.Fatalf("rendered filter does not reparse: %q -> %q: %v", src, text, err)
+		}
+		if again.String() != text {
+			t.Fatalf("rendering unstable: %q -> %q -> %q", src, text, again.String())
+		}
+		if flt.Matches(probe) != again.Matches(probe) {
+			t.Fatalf("round trip changed semantics for %q", src)
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package hquery
+
+import "testing"
+
+// FuzzParse checks that the query parser never panics and that accepted
+// queries round-trip through String.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"(select (objectClass=person))",
+		"(select (objectClass=person) @delta)",
+		"(minus (select (a=b)) (desc (select (a=b)) (select (c=d))))",
+		"(child (select (a=*)) (anc (select (b=1)) (select (c<=2))))",
+		"(select)",
+		"(((",
+		"(desc (select (a=b)))",
+		"(select (a=b) @nowhere)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := String(q)
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("rendered query does not reparse: %q: %v", text, err)
+		}
+		if String(q2) != text {
+			t.Fatalf("rendering unstable: %q -> %q", text, String(q2))
+		}
+	})
+}

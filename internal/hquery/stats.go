@@ -1,0 +1,142 @@
+package hquery
+
+import (
+	"fmt"
+	"strings"
+
+	"boundschema/internal/dirtree"
+)
+
+// NodeStats records one operator's evaluation during an instrumented run.
+type NodeStats struct {
+	// Op is the operator name (select/child/parent/desc/anc/minus).
+	Op string
+	// Detail renders the node (filter text for atoms).
+	Detail string
+	// Left and Right are the operand result sizes (Right is -1 for
+	// atoms, and -1 for Left when a probe path skipped materializing an
+	// atom operand).
+	Left, Right int
+	// Out is the node's result size.
+	Out int
+	// Strategy names the join strategy: scan, posting-list, hash, merge,
+	// staircase, diff.
+	Strategy string
+	// Depth is the node's depth in the query tree, for rendering.
+	Depth int
+	// children indexes into Stats.Nodes, for rendering.
+	children []int
+}
+
+// Stats collects per-node statistics in evaluation (post-order) order.
+type Stats struct {
+	Nodes []NodeStats
+}
+
+// String renders the statistics as an EXPLAIN-style tree, root first.
+func (s *Stats) String() string {
+	var b strings.Builder
+	if len(s.Nodes) == 0 {
+		return ""
+	}
+	var render func(i int)
+	render = func(i int) {
+		n := s.Nodes[i]
+		fmt.Fprintf(&b, "%s%-8s %-14s out=%-8d", strings.Repeat("  ", n.Depth), n.Op, n.Strategy, n.Out)
+		if n.Right >= 0 {
+			fmt.Fprintf(&b, " left=%-8d right=%-8d", n.Left, n.Right)
+		}
+		if n.Detail != "" {
+			fmt.Fprintf(&b, " %s", n.Detail)
+		}
+		b.WriteByte('\n')
+		for _, c := range n.children {
+			render(c)
+		}
+	}
+	render(len(s.Nodes) - 1) // the root is appended last (post-order)
+	return b.String()
+}
+
+// TotalWork returns the sum of operand sizes touched, the |Q|·|D| work
+// measure of Theorem 3.1.
+func (s *Stats) TotalWork() int {
+	total := 0
+	for _, n := range s.Nodes {
+		if n.Left > 0 {
+			total += n.Left
+		}
+		if n.Right > 0 {
+			total += n.Right
+		}
+		if n.Right < 0 && n.Left < 0 {
+			total += n.Out // atoms
+		}
+	}
+	return total
+}
+
+// EvalWithStats evaluates the query and reports per-operator statistics.
+// It uses the plain (non-probe) evaluation strategies so the reported
+// operand sizes reflect the textbook merge joins; use Eval for the
+// fastest path.
+func EvalWithStats(q Query, b Binding) ([]*dirtree.Entry, *Stats) {
+	b.Default.Directory().EnsureEncoded()
+	st := &Stats{}
+	out := evalStats(q, b, st, 0)
+	return out, st
+}
+
+func evalStats(q Query, b Binding, st *Stats, depth int) []*dirtree.Entry {
+	switch t := q.(type) {
+	case selectQ:
+		out := t.eval(b)
+		strategy := "scan"
+		if cls, rest, ok := classLead(t.f); ok {
+			strategy = "posting-list"
+			if rest != nil {
+				strategy = "posting-list+filter"
+			}
+			_ = cls
+		}
+		st.Nodes = append(st.Nodes, NodeStats{
+			Op: "select", Detail: t.f.String() + instSuffix(t.inst),
+			Left: -1, Right: -1, Out: len(out), Strategy: strategy, Depth: depth,
+		})
+		return out
+
+	case binQ:
+		left := evalStats(t.left, b, st, depth+1)
+		leftIdx := len(st.Nodes) - 1
+		right := evalStats(t.right, b, st, depth+1)
+		rightIdx := len(st.Nodes) - 1
+		var out []*dirtree.Entry
+		var strategy string
+		switch t.kind {
+		case opChild:
+			out, strategy = joinChild(left, right), "hash-parents"
+		case opParent:
+			out, strategy = joinParent(left, right), "hash"
+		case opDesc:
+			out, strategy = joinDesc(left, right), "merge"
+		case opAnc:
+			out, strategy = joinAnc(left, right), "staircase"
+		case opMinus:
+			out, strategy = diff(left, right), "diff"
+		}
+		st.Nodes = append(st.Nodes, NodeStats{
+			Op: opNames[t.kind], Left: len(left), Right: len(right),
+			Out: len(out), Strategy: strategy, Depth: depth,
+			children: []int{leftIdx, rightIdx},
+		})
+		return out
+	}
+	return nil
+}
+
+func instSuffix(i Inst) string {
+	if i == InstDefault {
+		return ""
+	}
+	return " @" + i.String()
+}

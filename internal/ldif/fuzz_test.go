@@ -1,0 +1,46 @@
+package ldif
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReader checks that the LDIF reader never panics and that whatever
+// it accepts as a content stream can be re-serialized and re-read to the
+// same outline.
+func FuzzReader(f *testing.F) {
+	seeds := []string{
+		whitePagesLDIF,
+		"dn: o=x\nobjectClass: top\n",
+		"dn: o=x\nattr:: aGVsbG8=\n",
+		"dn: o=x\nattr: spans\n multiple\n lines\n",
+		"version: 1\n\n# comment\ndn: o=x\nobjectClass: top\n",
+		"dn: o=x\nchangetype: delete\n",
+		"dn: o=x\nchangetype: moddn\nnewsuperior: o=y\n",
+		"dn: o=x\n:::\n",
+		"dn: o=x\nattr:: !!!\n",
+		"",
+		"\n\n\n",
+		"junk\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ReadDirectory(strings.NewReader(src), nil)
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if werr := WriteDirectory(&buf, d); werr != nil {
+			t.Fatalf("accepted stream fails to serialize: %v", werr)
+		}
+		d2, rerr := ReadDirectory(strings.NewReader(buf.String()), nil)
+		if rerr != nil {
+			t.Fatalf("serialized form does not reload: %v\n%s", rerr, buf.String())
+		}
+		if d2.String() != d.String() {
+			t.Fatalf("outline changed across round trip")
+		}
+	})
+}

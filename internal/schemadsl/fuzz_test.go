@@ -1,0 +1,44 @@
+package schemadsl
+
+import "testing"
+
+// FuzzParse checks that the schema DSL parser never panics and that
+// accepted schemas survive a Format/Parse round trip with identical
+// canonical text.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		whitePagesSrc,
+		"schema x { }",
+		"schema x { class a extends top { } }",
+		"schema x { auxclass a { } class b extends top { aux a } }",
+		"schema x { attribute a: single integer }",
+		"schema x { class a extends top { } require class a }",
+		"schema x { class a extends top { } require a descendant a }",
+		"schema x { class a extends top { } forbid a child a }",
+		"schema x { attribute k: string class a extends top { allows k } key k }",
+		"schema { }",
+		"schema x {",
+		"schema x } {",
+		"schema x { class a extends }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, name, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := Format(s, name)
+		s2, name2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\n%s", err, text)
+		}
+		if name2 != name {
+			t.Fatalf("name changed: %q -> %q", name, name2)
+		}
+		if Format(s2, name2) != text {
+			t.Fatalf("canonical form unstable")
+		}
+	})
+}

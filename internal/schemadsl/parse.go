@@ -1,0 +1,322 @@
+package schemadsl
+
+import (
+	"fmt"
+	"strings"
+
+	"boundschema/internal/core"
+	"boundschema/internal/dirtree"
+)
+
+// ---------------------------------------------------------------------
+// Lexer.
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokLBrace // {
+	tokRBrace // }
+	tokColon  // :
+	tokComma  // ,
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) next() token {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			l.skipLine()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLine()
+		case c == '{':
+			l.pos++
+			return token{tokLBrace, "{", l.line}
+		case c == '}':
+			l.pos++
+			return token{tokRBrace, "}", l.line}
+		case c == ':':
+			l.pos++
+			return token{tokColon, ":", l.line}
+		case c == ',':
+			l.pos++
+			return token{tokComma, ",", l.line}
+		default:
+			start := l.pos
+			for l.pos < len(l.src) && !strings.ContainsRune(" \t\r\n{}:,#", rune(l.src[l.pos])) {
+				if l.src[l.pos] == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					break
+				}
+				l.pos++
+			}
+			if l.pos == start {
+				l.pos++ // skip stray byte
+				continue
+			}
+			return token{tokIdent, l.src[start:l.pos], l.line}
+		}
+	}
+	return token{tokEOF, "", l.line}
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+// ---------------------------------------------------------------------
+// Parser.
+
+type parser struct {
+	lex    *lexer
+	peeked *token
+}
+
+func (p *parser) next() token {
+	if p.peeked != nil {
+		t := *p.peeked
+		p.peeked = nil
+		return t
+	}
+	return p.lex.next()
+}
+
+func (p *parser) peek() token {
+	if p.peeked == nil {
+		t := p.lex.next()
+		p.peeked = &t
+	}
+	return *p.peeked
+}
+
+func (p *parser) errorf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("schemadsl: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectIdent(what string) (token, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return t, p.errorf(t.line, "expected %s, got %q", what, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKind(k tokenKind, what string) error {
+	t := p.next()
+	if t.kind != k {
+		return p.errorf(t.line, "expected %s, got %q", what, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != kw {
+		return p.errorf(t.line, "expected %q, got %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseSchema() (string, *schemaAST, error) {
+	if err := p.expectKeyword("schema"); err != nil {
+		return "", nil, err
+	}
+	nameTok, err := p.expectIdent("schema name")
+	if err != nil {
+		return "", nil, err
+	}
+	if err := p.expectKind(tokLBrace, "'{'"); err != nil {
+		return "", nil, err
+	}
+	ast := &schemaAST{}
+	for {
+		t := p.next()
+		switch {
+		case t.kind == tokRBrace:
+			if tail := p.next(); tail.kind != tokEOF {
+				return "", nil, p.errorf(tail.line, "trailing input %q", tail.text)
+			}
+			return nameTok.text, ast, nil
+		case t.kind == tokEOF:
+			return "", nil, p.errorf(t.line, "unexpected end of schema")
+		case t.kind == tokIdent && t.text == "attribute":
+			if err := p.parseAttribute(ast); err != nil {
+				return "", nil, err
+			}
+		case t.kind == tokIdent && t.text == "class":
+			if err := p.parseClass(ast, false); err != nil {
+				return "", nil, err
+			}
+		case t.kind == tokIdent && t.text == "auxclass":
+			if err := p.parseClass(ast, true); err != nil {
+				return "", nil, err
+			}
+		case t.kind == tokIdent && t.text == "key":
+			name, err := p.expectIdent("attribute name")
+			if err != nil {
+				return "", nil, err
+			}
+			ast.keyAttrs = append(ast.keyAttrs, name.text)
+		case t.kind == tokIdent && t.text == "require":
+			if err := p.parseRel(ast, false); err != nil {
+				return "", nil, err
+			}
+		case t.kind == tokIdent && t.text == "forbid":
+			if err := p.parseRel(ast, true); err != nil {
+				return "", nil, err
+			}
+		default:
+			return "", nil, p.errorf(t.line, "unexpected %q", t.text)
+		}
+	}
+}
+
+func (p *parser) parseAttribute(ast *schemaAST) error {
+	name, err := p.expectIdent("attribute name")
+	if err != nil {
+		return err
+	}
+	if err := p.expectKind(tokColon, "':'"); err != nil {
+		return err
+	}
+	typTok, err := p.expectIdent("type")
+	if err != nil {
+		return err
+	}
+	single := false
+	if typTok.text == "single" {
+		single = true
+		typTok, err = p.expectIdent("type")
+		if err != nil {
+			return err
+		}
+	}
+	typ, err := dirtree.ParseType(typTok.text)
+	if err != nil {
+		return p.errorf(typTok.line, "%v", err)
+	}
+	ast.attrs = append(ast.attrs, attrDecl{name: name.text, typ: typ, single: single})
+	return nil
+}
+
+func (p *parser) parseClass(ast *schemaAST, aux bool) error {
+	name, err := p.expectIdent("class name")
+	if err != nil {
+		return err
+	}
+	decl := classDecl{name: name.text, aux: aux, line: name.line}
+	if !aux {
+		if err := p.expectKeyword("extends"); err != nil {
+			return err
+		}
+		super, err := p.expectIdent("superclass name")
+		if err != nil {
+			return err
+		}
+		decl.super = super.text
+	}
+	if err := p.expectKind(tokLBrace, "'{'"); err != nil {
+		return err
+	}
+	for {
+		t := p.next()
+		switch {
+		case t.kind == tokRBrace:
+			ast.classes = append(ast.classes, decl)
+			return nil
+		case t.kind == tokEOF:
+			return p.errorf(t.line, "unexpected end of class body")
+		case t.kind == tokIdent && t.text == "aux" && !aux:
+			list, err := p.parseIdentList()
+			if err != nil {
+				return err
+			}
+			decl.auxes = append(decl.auxes, list...)
+		case t.kind == tokIdent && t.text == "requires":
+			list, err := p.parseIdentList()
+			if err != nil {
+				return err
+			}
+			decl.requires = append(decl.requires, list...)
+		case t.kind == tokIdent && t.text == "allows":
+			list, err := p.parseIdentList()
+			if err != nil {
+				return err
+			}
+			decl.allows = append(decl.allows, list...)
+		default:
+			return p.errorf(t.line, "unexpected %q in class body", t.text)
+		}
+	}
+}
+
+// parseIdentList reads "a, b, c" up to (not consuming) the next
+// non-list token.
+func (p *parser) parseIdentList() ([]string, error) {
+	first, err := p.expectIdent("name")
+	if err != nil {
+		return nil, err
+	}
+	out := []string{first.text}
+	for p.peek().kind == tokComma {
+		p.next()
+		nxt, err := p.expectIdent("name")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, nxt.text)
+	}
+	return out, nil
+}
+
+func (p *parser) parseRel(ast *schemaAST, forbid bool) error {
+	first, err := p.expectIdent("class name or 'class'")
+	if err != nil {
+		return err
+	}
+	if !forbid && first.text == "class" {
+		cls, err := p.expectIdent("class name")
+		if err != nil {
+			return err
+		}
+		ast.reqClasses = append(ast.reqClasses, reqClassDecl{class: cls.text})
+		return nil
+	}
+	axTok, err := p.expectIdent("axis")
+	if err != nil {
+		return err
+	}
+	axis, err := core.ParseAxis(axTok.text)
+	if err != nil {
+		return p.errorf(axTok.line, "%v", err)
+	}
+	tgt, err := p.expectIdent("class name")
+	if err != nil {
+		return err
+	}
+	ast.rels = append(ast.rels, relDecl{
+		src: first.text, axis: axis, tgt: tgt.text, forbid: forbid, line: first.line,
+	})
+	return nil
+}

@@ -1,0 +1,289 @@
+// Package schemadsl provides a textual definition language for
+// bounding-schemas, so schemas can be versioned, reviewed and loaded like
+// the LDIF instances they govern. The language covers every component of
+// Definition 2.5:
+//
+//	schema whitepages {
+//	  // τ: attribute typing (Definition 2.1); "single" marks
+//	  // single-valued attributes (Section 6.1).
+//	  attribute name: string
+//	  attribute mail: string
+//	  attribute ssn: single string
+//
+//	  // Class schema (Definition 2.3): a single-inheritance core
+//	  // hierarchy rooted at top, plus auxiliary classes.
+//	  class orgGroup extends top {
+//	    aux online
+//	  }
+//	  class person extends top {
+//	    aux online
+//	    requires name
+//	    allows cellularPhone
+//	  }
+//	  auxclass online {
+//	    allows mail
+//	  }
+//
+//	  // Structure schema (Definition 2.4).
+//	  require class orgUnit
+//	  require orgGroup descendant person
+//	  require orgUnit parent orgGroup
+//	  forbid person child top
+//	}
+//
+// Comments run from "//" or "#" to end of line. Parse and Format are
+// inverses up to ordering and whitespace.
+package schemadsl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"boundschema/internal/core"
+	"boundschema/internal/dirtree"
+)
+
+// Parse compiles a schema definition into a core.Schema. The returned
+// schema is validated for well-formedness (core.Schema.Validate), but not
+// for consistency.
+func Parse(src string) (*core.Schema, string, error) {
+	p := &parser{lex: newLexer(src)}
+	name, ast, err := p.parseSchema()
+	if err != nil {
+		return nil, "", err
+	}
+	s, err := compile(ast)
+	if err != nil {
+		return nil, "", err
+	}
+	return s, name, nil
+}
+
+// ---------------------------------------------------------------------
+// AST.
+
+type classDecl struct {
+	name     string
+	super    string
+	aux      bool
+	auxes    []string
+	requires []string
+	allows   []string
+	line     int
+}
+
+type attrDecl struct {
+	name   string
+	typ    dirtree.Type
+	single bool
+}
+
+type reqClassDecl struct{ class string }
+
+type relDecl struct {
+	src    string
+	axis   core.Axis
+	tgt    string
+	forbid bool
+	line   int
+}
+
+type schemaAST struct {
+	attrs      []attrDecl
+	classes    []classDecl
+	reqClasses []reqClassDecl
+	rels       []relDecl
+	keyAttrs   []string
+}
+
+// ---------------------------------------------------------------------
+// Compilation.
+
+func compile(ast *schemaAST) (*core.Schema, error) {
+	s := core.NewSchema()
+	for _, a := range ast.attrs {
+		if a.single {
+			s.Registry.DeclareSingle(a.name, a.typ)
+		} else {
+			s.Registry.Declare(a.name, a.typ)
+		}
+	}
+
+	// Auxiliary classes first (they have no dependencies), then core
+	// classes in superclass dependency order (forward references are
+	// allowed in the source).
+	for _, c := range ast.classes {
+		if c.aux {
+			if err := s.Classes.AddAux(c.name); err != nil {
+				return nil, fmt.Errorf("schemadsl: line %d: %v", c.line, err)
+			}
+		}
+	}
+	pending := make([]classDecl, 0, len(ast.classes))
+	for _, c := range ast.classes {
+		if !c.aux {
+			pending = append(pending, c)
+		}
+	}
+	for len(pending) > 0 {
+		progress := false
+		var next []classDecl
+		for _, c := range pending {
+			if s.Classes.IsCore(c.super) {
+				if err := s.Classes.AddCore(c.name, c.super); err != nil {
+					return nil, fmt.Errorf("schemadsl: line %d: %v", c.line, err)
+				}
+				progress = true
+			} else {
+				next = append(next, c)
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("schemadsl: line %d: class %s extends unknown class %s",
+				next[0].line, next[0].name, next[0].super)
+		}
+		pending = next
+	}
+
+	// Second pass: aux allowances and attribute schema, now that every
+	// class exists.
+	for _, c := range ast.classes {
+		if len(c.auxes) > 0 {
+			if err := s.Classes.AllowAux(c.name, c.auxes...); err != nil {
+				return nil, fmt.Errorf("schemadsl: line %d: %v", c.line, err)
+			}
+		}
+		if len(c.requires) > 0 {
+			s.Attrs.Require(c.name, c.requires...)
+		}
+		if len(c.allows) > 0 {
+			s.Attrs.Allow(c.name, c.allows...)
+		}
+	}
+
+	for _, k := range ast.keyAttrs {
+		s.DeclareKey(k)
+	}
+	for _, rc := range ast.reqClasses {
+		s.Structure.RequireClass(rc.class)
+	}
+	for _, r := range ast.rels {
+		if r.forbid {
+			if err := s.Structure.ForbidRel(r.src, r.axis, r.tgt); err != nil {
+				return nil, fmt.Errorf("schemadsl: line %d: %v", r.line, err)
+			}
+		} else {
+			s.Structure.RequireRel(r.src, r.axis, r.tgt)
+		}
+	}
+
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("schemadsl: %v", err)
+	}
+	return s, nil
+}
+
+// ---------------------------------------------------------------------
+// Formatting.
+
+// Format renders a schema in the definition language. Parse(Format(s))
+// reproduces s up to ordering.
+func Format(s *core.Schema, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema %s {\n", name)
+
+	reg := s.Registry
+	attrSet := make(map[string]struct{})
+	for _, a := range reg.Attrs() {
+		attrSet[a] = struct{}{}
+	}
+	for _, a := range s.Attrs.Attrs() {
+		attrSet[a] = struct{}{}
+	}
+	attrs := make([]string, 0, len(attrSet))
+	for a := range attrSet {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	wrote := false
+	for _, a := range attrs {
+		if a == dirtree.AttrObjectClass {
+			continue
+		}
+		if reg.SingleValued(a) {
+			fmt.Fprintf(&b, "  attribute %s: single %s\n", a, reg.Type(a))
+		} else {
+			fmt.Fprintf(&b, "  attribute %s: %s\n", a, reg.Type(a))
+		}
+		wrote = true
+	}
+	if wrote {
+		b.WriteString("\n")
+	}
+
+	// Core classes in depth order so superclasses precede subclasses.
+	cores := s.Classes.CoreClasses()
+	sort.SliceStable(cores, func(i, j int) bool {
+		di, dj := s.Classes.DepthOf(cores[i]), s.Classes.DepthOf(cores[j])
+		if di != dj {
+			return di < dj
+		}
+		return cores[i] < cores[j]
+	})
+	for _, c := range cores {
+		if c == core.ClassTop {
+			continue
+		}
+		super, _ := s.Classes.Superclass(c)
+		writeClassBody(&b, s, c, fmt.Sprintf("  class %s extends %s", c, super), s.Classes.AuxesOf(c))
+	}
+	for _, x := range s.Classes.AuxClasses() {
+		writeClassBody(&b, s, x, fmt.Sprintf("  auxclass %s", x), nil)
+	}
+
+	for _, k := range s.Keys() {
+		fmt.Fprintf(&b, "  key %s\n", k)
+	}
+	wrote = false
+	for _, c := range s.Structure.RequiredClasses() {
+		fmt.Fprintf(&b, "  require class %s\n", c)
+		wrote = true
+	}
+	for _, r := range s.Structure.RequiredRels() {
+		fmt.Fprintf(&b, "  require %s %s %s\n", r.Source, r.Axis, r.Target)
+		wrote = true
+	}
+	for _, r := range s.Structure.ForbiddenRels() {
+		fmt.Fprintf(&b, "  forbid %s %s %s\n", r.Upper, r.Axis, r.Lower)
+		wrote = true
+	}
+	_ = wrote
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func writeClassBody(b *strings.Builder, s *core.Schema, c, header string, auxes []string) {
+	requires := s.Attrs.Required(c)
+	var allowsOnly []string
+	for _, a := range s.Attrs.Allowed(c) {
+		if !s.Attrs.IsRequired(c, a) {
+			allowsOnly = append(allowsOnly, a)
+		}
+	}
+	if len(auxes) == 0 && len(requires) == 0 && len(allowsOnly) == 0 {
+		fmt.Fprintf(b, "%s { }\n", header)
+		return
+	}
+	fmt.Fprintf(b, "%s {\n", header)
+	if len(auxes) > 0 {
+		fmt.Fprintf(b, "    aux %s\n", strings.Join(auxes, ", "))
+	}
+	if len(requires) > 0 {
+		fmt.Fprintf(b, "    requires %s\n", strings.Join(requires, ", "))
+	}
+	if len(allowsOnly) > 0 {
+		fmt.Fprintf(b, "    allows %s\n", strings.Join(allowsOnly, ", "))
+	}
+	fmt.Fprintf(b, "  }\n")
+}

@@ -1,0 +1,223 @@
+package schemadsl
+
+import (
+	"strings"
+	"testing"
+
+	"boundschema/internal/core"
+	"boundschema/internal/dirtree"
+	"boundschema/internal/workload"
+)
+
+const whitePagesSrc = `
+// The paper's running example (Figures 2 and 3).
+schema whitepages {
+  attribute name: string
+  attribute mail: string
+  attribute uri: string
+  attribute location: string
+  attribute cellularPhone: telephone
+
+  class orgGroup extends top {
+    aux online
+  }
+  class person extends top {
+    aux online
+    requires name
+    allows cellularPhone
+  }
+  class organization extends orgGroup {
+    allows uri
+  }
+  class orgUnit extends orgGroup {
+    allows location
+  }
+  class staffMember extends person {
+    aux manager, secretary, consultant
+  }
+  class researcher extends person {
+    aux manager, consultant, facultyMember
+  }
+  auxclass online {
+    allows mail, uri
+  }
+  auxclass manager { }
+  auxclass secretary { }
+  auxclass consultant { }
+  auxclass facultyMember { }
+
+  require class organization
+  require class orgUnit
+  require class person
+  require orgGroup descendant person
+  require orgUnit parent orgGroup
+  require person ancestor organization
+  forbid person child top
+}
+`
+
+func TestParseWhitePages(t *testing.T) {
+	s, name, err := Parse(whitePagesSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "whitepages" {
+		t.Errorf("name = %q", name)
+	}
+	if !s.Classes.Subsumes("researcher", "person") {
+		t.Errorf("hierarchy lost")
+	}
+	if !s.Classes.AuxAllowed("researcher", "facultyMember") {
+		t.Errorf("aux allowance lost")
+	}
+	if !s.Attrs.IsRequired("person", "name") || !s.Attrs.IsAllowed("online", "mail") {
+		t.Errorf("attribute schema lost")
+	}
+	if s.Registry.Type("cellularPhone") != dirtree.TypeTel {
+		t.Errorf("attribute typing lost")
+	}
+	if got := len(s.Structure.RequiredRels()); got != 3 {
+		t.Errorf("required rels = %d, want 3", got)
+	}
+	if got := len(s.Structure.ForbiddenRels()); got != 1 {
+		t.Errorf("forbidden rels = %d, want 1", got)
+	}
+	// The parsed schema must accept the Figure 1 instance.
+	d := workload.WhitePagesInstance(s)
+	if r := core.NewChecker(s).Check(d); !r.Legal() {
+		t.Fatalf("parsed schema rejects Figure 1:\n%s", r)
+	}
+	if !s.Consistent() {
+		t.Errorf("parsed schema inconsistent")
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	src := `schema fwd {
+      class c extends b { }
+      class b extends a { }
+      class a extends top { }
+    }`
+	s, _, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Classes.Subsumes("c", "a") {
+		t.Errorf("forward-referenced hierarchy wrong")
+	}
+}
+
+func TestSingleValuedAttribute(t *testing.T) {
+	src := `schema x {
+      attribute ssn: single string
+      class person extends top { allows ssn }
+    }`
+	s, _, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Registry.SingleValued("ssn") {
+		t.Errorf("single-valued flag lost")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, build := range []func() (*core.Schema, string){
+		func() (*core.Schema, string) { return workload.WhitePagesSchema(), "whitepages" },
+		func() (*core.Schema, string) {
+			s, _, err := Parse(whitePagesSrc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s, "whitepages"
+		},
+	} {
+		s, name := build()
+		text := Format(s, name)
+		back, name2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\n%s", err, text)
+		}
+		if name2 != name {
+			t.Errorf("name changed: %q -> %q", name, name2)
+		}
+		text2 := Format(back, name2)
+		if text != text2 {
+			t.Errorf("format not stable:\n%s\nvs\n%s", text, text2)
+		}
+		// Semantic round trip: same elements.
+		if got, want := elementSet(back), elementSet(s); got != want {
+			t.Errorf("elements changed:\n%s\nvs\n%s", got, want)
+		}
+	}
+}
+
+func elementSet(s *core.Schema) string {
+	var parts []string
+	for _, el := range s.Elements() {
+		parts = append(parts, el.ElementString())
+	}
+	return strings.Join(parts, ";")
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"", "expected \"schema\""},
+		{"schema x {", "unexpected end"},
+		{"schema x { class a { } }", "expected \"extends\""},
+		{"schema x { class a extends nowhere { } }", "unknown class"},
+		{"schema x { attribute a: float }", "unknown type"},
+		{"schema x { require a sibling b }", "unknown axis"},
+		{"schema x { class a extends top { } forbid a parent top }", "child or descendant"},
+		{"schema x { frobnicate }", "unexpected"},
+		{"schema x { class a extends top { junk } }", "unexpected"},
+		{"schema x { auxclass a { } require class a }", "not a declared core class"},
+		{"schema x { } trailing", "trailing"},
+		{"schema x { class a extends top { } class a extends top { } }", "already declared"},
+	}
+	for _, c := range cases {
+		_, _, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "schema x {\n  # hash comment\n  // slash comment\n  class a extends top { } // trailing\n}\n"
+	s, _, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Classes.IsCore("a") {
+		t.Errorf("class lost")
+	}
+}
+
+func TestKeyStatement(t *testing.T) {
+	src := `schema x {
+      attribute ssn: string
+      class person extends top { allows ssn }
+      key ssn
+    }`
+	s, _, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsKey("ssn") {
+		t.Errorf("key declaration lost")
+	}
+	text := Format(s, "x")
+	if !strings.Contains(text, "key ssn") {
+		t.Errorf("key not formatted:\n%s", text)
+	}
+	back, _, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsKey("ssn") {
+		t.Errorf("key lost in round trip")
+	}
+}

@@ -1,0 +1,488 @@
+// Package server implements a small directory server that enforces a
+// bounding-schema on every update — the deployment the paper targets: an
+// LDAP-style store whose instances stay legal by construction.
+//
+// The protocol is line-oriented text over TCP (LDAP's ASN.1 framing is
+// out of scope; the operations mirror LDAP's):
+//
+//	SEARCH <filter> [base=<dn>]     matching DNs, one per line
+//	QUERY <hierarchical query>      DNs matched by an hquery expression
+//	GET <dn>                        the entry as LDIF attribute lines
+//	BEGIN ... ADD/DELETE/MOVE ... COMMIT an update transaction (LDIF-ish)
+//	CHECK                           full legality report
+//	CONSISTENT                      schema consistency verdict
+//	SCHEMA                          the schema in the definition language
+//	STAT                            entry and class counts
+//	QUIT
+//
+// Every response is terminated by a line reading "OK", "ILLEGAL" or
+// "ERR <message>". Transactions are applied atomically with the Figure 5
+// incremental checks; a violating COMMIT leaves the directory unchanged
+// and reports the violations.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"boundschema/internal/core"
+	"boundschema/internal/dirtree"
+	"boundschema/internal/filter"
+	"boundschema/internal/hquery"
+	"boundschema/internal/ldif"
+	"boundschema/internal/schemadsl"
+	"boundschema/internal/txn"
+)
+
+// Server serves one directory instance guarded by one bounding-schema.
+type Server struct {
+	schema  *core.Schema
+	name    string
+	applier *txn.Applier
+	checker *core.Checker
+
+	mu  sync.RWMutex // guards dir
+	dir *dirtree.Directory
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	journal *os.File // nil when journaling is off
+}
+
+// New creates a server over the given schema and initial instance. The
+// instance must be legal; New refuses otherwise so the invariant "the
+// served directory is always legal" holds from the start.
+func New(schema *core.Schema, name string, dir *dirtree.Directory) (*Server, error) {
+	checker := core.NewChecker(schema)
+	if r := checker.Check(dir); !r.Legal() {
+		return nil, fmt.Errorf("server: initial instance is illegal:\n%s", r)
+	}
+	applier := txn.NewApplier(schema)
+	applier.Counts = txn.NewCountIndex(dir)
+	applier.NarrowDeletes = true
+	return &Server{
+		schema:  schema,
+		name:    name,
+		applier: applier,
+		checker: checker,
+		dir:     dir,
+		closed:  make(chan struct{}),
+	}, nil
+}
+
+// OpenJournal replays any committed transactions recorded in path, then
+// appends every future successful COMMIT to it as LDIF change records,
+// so a restart with the same snapshot and journal reproduces the state.
+func (s *Server) OpenJournal(path string) error {
+	if f, err := os.Open(path); err == nil {
+		recs, rerr := ldif.NewReader(f).ReadAll()
+		f.Close()
+		if rerr != nil {
+			return fmt.Errorf("server: journal %s: %v", path, rerr)
+		}
+		// Each record was committed individually; replay one at a time
+		// so a partial trailing transaction cannot poison the rest.
+		for _, rec := range recs {
+			tx, terr := txn.FromRecords([]*ldif.Record{rec}, s.schema.Registry)
+			if terr != nil {
+				return fmt.Errorf("server: journal %s: %v", path, terr)
+			}
+			s.mu.Lock()
+			report, aerr := s.applier.Apply(s.dir, tx)
+			s.mu.Unlock()
+			if aerr != nil {
+				return fmt.Errorf("server: journal %s replay: %v", path, aerr)
+			}
+			if !report.Legal() {
+				return fmt.Errorf("server: journal %s replay rejected:\n%s", path, report)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.journal = f
+	return nil
+}
+
+// Listen starts accepting connections on addr ("127.0.0.1:0" picks a
+// free port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	close(s.closed)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	if s.journal != nil {
+		if jerr := s.journal.Close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+type session struct {
+	srv *Server
+	w   *bufio.Writer
+	tx  *txn.Transaction // non-nil inside BEGIN..COMMIT
+	// pending is the entry currently being assembled by ADD lines.
+	pendingDN      string
+	pendingClasses []string
+	pendingAttrs   map[string][]dirtree.Value
+}
+
+func (s *Server) serve(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sess := &session{srv: s, w: bufio.NewWriter(conn)}
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		if quit := sess.handle(line); quit {
+			break
+		}
+		sess.w.Flush()
+	}
+	sess.w.Flush()
+}
+
+func (se *session) reply(lines ...string) {
+	for _, l := range lines {
+		se.w.WriteString(l)
+		se.w.WriteByte('\n')
+	}
+}
+
+func (se *session) ok()            { se.reply("OK") }
+func (se *session) err(msg string) { se.reply("ERR " + strings.ReplaceAll(msg, "\n", " | ")) }
+func (se *session) illegal(r *core.Report) {
+	for _, v := range r.Violations {
+		se.reply("# " + v.String())
+	}
+	se.reply("ILLEGAL")
+}
+
+// handle processes one protocol line; it returns true on QUIT.
+func (se *session) handle(line string) bool {
+	trimmed := strings.TrimSpace(line)
+	if se.tx != nil {
+		return se.handleTx(trimmed)
+	}
+	cmd, rest := splitCommand(trimmed)
+	switch cmd {
+	case "":
+		// ignore blank lines between commands
+	case "QUIT":
+		se.ok()
+		return true
+	case "SEARCH":
+		se.search(rest)
+	case "QUERY":
+		se.query(rest)
+	case "GET":
+		se.get(rest)
+	case "BEGIN":
+		se.tx = &txn.Transaction{}
+		se.ok()
+	case "CHECK":
+		se.check()
+	case "CONSISTENT":
+		se.consistent()
+	case "SCHEMA":
+		se.reply(strings.Split(strings.TrimRight(schemadsl.Format(se.srv.schema, se.srv.name), "\n"), "\n")...)
+		se.ok()
+	case "STAT":
+		se.stat()
+	default:
+		se.err(fmt.Sprintf("unknown command %q", cmd))
+	}
+	return false
+}
+
+// handleTx processes lines inside BEGIN..COMMIT.
+func (se *session) handleTx(line string) bool {
+	cmd, rest := splitCommand(line)
+	switch cmd {
+	case "ADD":
+		if err := se.flushPending(); err != nil {
+			se.err(err.Error())
+			se.abort()
+			return false
+		}
+		dn := strings.TrimSpace(rest)
+		if dn == "" {
+			se.err("ADD needs a DN")
+			se.abort()
+			return false
+		}
+		se.pendingDN = dn
+		se.pendingClasses = nil
+		se.pendingAttrs = make(map[string][]dirtree.Value)
+	case "DELETE":
+		if err := se.flushPending(); err != nil {
+			se.err(err.Error())
+			se.abort()
+			return false
+		}
+		se.tx.Delete(strings.TrimSpace(rest))
+	case "MOVE":
+		if err := se.flushPending(); err != nil {
+			se.err(err.Error())
+			se.abort()
+			return false
+		}
+		dn, dest, _ := strings.Cut(strings.TrimSpace(rest), " ")
+		se.tx.Move(strings.TrimSpace(dn), strings.TrimSpace(dest))
+	case "COMMIT":
+		if err := se.flushPending(); err != nil {
+			se.err(err.Error())
+			se.abort()
+			return false
+		}
+		se.commit()
+	case "ABORT":
+		se.abort()
+		se.ok()
+	case "":
+		// blank line inside a transaction is a no-op
+	default:
+		// attribute line "name: value" for the pending ADD
+		if se.pendingDN == "" {
+			se.err(fmt.Sprintf("unexpected %q inside transaction", line))
+			se.abort()
+			return false
+		}
+		name, value, ok := strings.Cut(line, ":")
+		if !ok {
+			se.err(fmt.Sprintf("malformed attribute line %q", line))
+			se.abort()
+			return false
+		}
+		name = strings.TrimSpace(name)
+		value = strings.TrimSpace(value)
+		if name == dirtree.AttrObjectClass {
+			se.pendingClasses = append(se.pendingClasses, value)
+			return false
+		}
+		v, err := dirtree.ParseValue(se.srv.schema.Registry.Type(name), value)
+		if err != nil {
+			se.err(err.Error())
+			se.abort()
+			return false
+		}
+		se.pendingAttrs[name] = append(se.pendingAttrs[name], v)
+	}
+	return false
+}
+
+func (se *session) flushPending() error {
+	if se.pendingDN == "" {
+		return nil
+	}
+	se.tx.Add(se.pendingDN, se.pendingClasses, se.pendingAttrs)
+	se.pendingDN, se.pendingClasses, se.pendingAttrs = "", nil, nil
+	return nil
+}
+
+func (se *session) abort() {
+	se.tx = nil
+	se.pendingDN, se.pendingClasses, se.pendingAttrs = "", nil, nil
+}
+
+func (se *session) commit() {
+	tx := se.tx
+	se.abort()
+	se.srv.mu.Lock()
+	report, err := se.srv.applier.Apply(se.srv.dir, tx)
+	if err == nil && report.Legal() && se.srv.journal != nil {
+		if jerr := tx.WriteChanges(se.srv.journal); jerr == nil {
+			jerr = se.srv.journal.Sync()
+			_ = jerr
+		}
+	}
+	se.srv.mu.Unlock()
+	if err != nil {
+		se.err(err.Error())
+		return
+	}
+	if !report.Legal() {
+		se.illegal(report)
+		return
+	}
+	se.ok()
+}
+
+func (se *session) search(rest string) {
+	ftext, tail, err := cutBalanced(strings.TrimSpace(rest))
+	if err != nil {
+		se.err(err.Error())
+		return
+	}
+	f, err := filter.Parse(ftext)
+	if err != nil {
+		se.err(err.Error())
+		return
+	}
+	se.srv.mu.RLock()
+	defer se.srv.mu.RUnlock()
+	view := se.srv.dir.All()
+	for _, a := range strings.Fields(tail) {
+		if base, ok := strings.CutPrefix(a, "base="); ok {
+			e := se.srv.dir.ByDN(base)
+			if e == nil {
+				se.err(fmt.Sprintf("base %q not found", base))
+				return
+			}
+			view = se.srv.dir.SubtreeView(e)
+		}
+	}
+	for _, e := range view.Entries() {
+		if f.Matches(e) {
+			se.reply(e.DN())
+		}
+	}
+	se.ok()
+}
+
+func (se *session) query(rest string) {
+	q, err := hquery.Parse(strings.TrimSpace(rest))
+	if err != nil {
+		se.err(err.Error())
+		return
+	}
+	se.srv.mu.RLock()
+	defer se.srv.mu.RUnlock()
+	for _, e := range hquery.Eval(q, hquery.NewBinding(se.srv.dir)) {
+		se.reply(e.DN())
+	}
+	se.ok()
+}
+
+func (se *session) get(rest string) {
+	dn := strings.TrimSpace(rest)
+	se.srv.mu.RLock()
+	defer se.srv.mu.RUnlock()
+	e := se.srv.dir.ByDN(dn)
+	if e == nil {
+		se.err(fmt.Sprintf("no entry %q", dn))
+		return
+	}
+	se.reply("dn: " + e.DN())
+	for _, name := range e.AttrNames() {
+		for _, v := range e.Attr(name) {
+			se.reply(name + ": " + v.String())
+		}
+	}
+	se.ok()
+}
+
+func (se *session) check() {
+	se.srv.mu.RLock()
+	report := se.srv.checker.Check(se.srv.dir)
+	se.srv.mu.RUnlock()
+	if !report.Legal() {
+		se.illegal(report)
+		return
+	}
+	se.ok()
+}
+
+func (se *session) consistent() {
+	res := core.CheckConsistency(se.srv.schema)
+	se.reply(fmt.Sprintf("consistent: %v facts: %d", res.Consistent, res.Facts))
+	if res.Consistent {
+		se.ok()
+	} else {
+		se.reply("ILLEGAL")
+	}
+}
+
+func (se *session) stat() {
+	se.srv.mu.RLock()
+	defer se.srv.mu.RUnlock()
+	se.reply(fmt.Sprintf("entries: %d", se.srv.dir.Len()))
+	names := se.srv.dir.ClassNames()
+	sort.Strings(names)
+	for _, c := range names {
+		se.reply(fmt.Sprintf("class %s: %d", c, se.srv.dir.ClassCount(c)))
+	}
+	se.ok()
+}
+
+// cutBalanced splits off a leading balanced-parenthesis span (a filter,
+// which may contain spaces) from the rest of the line.
+func cutBalanced(s string) (string, string, error) {
+	if s == "" || s[0] != '(' {
+		return "", "", fmt.Errorf("expected a parenthesized filter")
+	}
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip the escape marker
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return s[:i+1], s[i+1:], nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("unbalanced filter")
+}
+
+func splitCommand(line string) (string, string) {
+	cmd, rest, _ := strings.Cut(line, " ")
+	return strings.ToUpper(cmd), rest
+}
+
+// Snapshot writes the current instance as LDIF, for persistence.
+func (s *Server) Snapshot(w *bufio.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return ldif.WriteDirectory(w, s.dir)
+}

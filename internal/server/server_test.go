@@ -1,0 +1,394 @@
+package server
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+
+	"boundschema/internal/core"
+	"boundschema/internal/dirtree"
+	"boundschema/internal/workload"
+)
+
+// client is a tiny test client for the line protocol.
+type client struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func startServer(t *testing.T) (*Server, *client) {
+	t.Helper()
+	s := workload.WhitePagesSchema()
+	d := workload.WhitePagesInstance(s)
+	srv, err := New(s, "whitepages", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return srv, &client{t: t, conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *client) send(lines ...string) {
+	c.t.Helper()
+	for _, l := range lines {
+		if _, err := c.conn.Write([]byte(l + "\n")); err != nil {
+			c.t.Fatal(err)
+		}
+	}
+}
+
+// until reads lines until a terminator (OK/ILLEGAL/ERR...) and returns
+// body plus the terminator.
+func (c *client) until() ([]string, string) {
+	c.t.Helper()
+	var body []string
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			c.t.Fatalf("read: %v (body so far %v)", err, body)
+		}
+		line = strings.TrimRight(line, "\n")
+		if line == "OK" || line == "ILLEGAL" || strings.HasPrefix(line, "ERR ") {
+			return body, line
+		}
+		body = append(body, line)
+	}
+}
+
+func (c *client) expectOK(lines ...string) []string {
+	c.t.Helper()
+	c.send(lines...)
+	body, term := c.until()
+	if term != "OK" {
+		c.t.Fatalf("expected OK, got %q (body %v)", term, body)
+	}
+	return body
+}
+
+func TestServerSearch(t *testing.T) {
+	_, c := startServer(t)
+	body := c.expectOK("SEARCH (objectClass=person)")
+	if len(body) != 3 {
+		t.Errorf("persons = %v", body)
+	}
+	body = c.expectOK("SEARCH (&(objectClass=person)(mail=*)) base=ou=attLabs,o=att")
+	if len(body) != 1 || !strings.Contains(body[0], "uid=laks") {
+		t.Errorf("scoped search = %v", body)
+	}
+	c.send("SEARCH (bad")
+	if _, term := c.until(); !strings.HasPrefix(term, "ERR ") {
+		t.Errorf("bad filter: %q", term)
+	}
+}
+
+func TestServerQuery(t *testing.T) {
+	_, c := startServer(t)
+	body := c.expectOK("QUERY (minus (select (objectClass=orgGroup)) (desc (select (objectClass=orgGroup)) (select (objectClass=person))))")
+	if len(body) != 0 {
+		t.Errorf("Q1 should be empty on a legal instance: %v", body)
+	}
+}
+
+func TestServerGet(t *testing.T) {
+	_, c := startServer(t)
+	body := c.expectOK("GET uid=laks,ou=databases,ou=attLabs,o=att")
+	joined := strings.Join(body, "\n")
+	for _, want := range []string{"dn: uid=laks", "objectClass: researcher", "mail: laks@cs.concordia.ca"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("GET output missing %q:\n%s", want, joined)
+		}
+	}
+	c.send("GET uid=ghost,o=att")
+	if _, term := c.until(); !strings.HasPrefix(term, "ERR ") {
+		t.Errorf("missing entry: %q", term)
+	}
+}
+
+func TestServerLegalTransaction(t *testing.T) {
+	srv, c := startServer(t)
+	c.expectOK("BEGIN")
+	c.expectOK(
+		"ADD ou=networking,ou=attLabs,o=att",
+		"objectClass: orgUnit",
+		"objectClass: orgGroup",
+		"objectClass: top",
+		"ADD uid=pat,ou=networking,ou=attLabs,o=att",
+		"objectClass: person",
+		"objectClass: top",
+		"name: pat doe",
+		"DELETE uid=armstrong,ou=attLabs,o=att",
+		"COMMIT",
+	)
+	c.expectOK("CHECK")
+	srv.mu.RLock()
+	defer srv.mu.RUnlock()
+	if srv.dir.ByDN("uid=pat,ou=networking,ou=attLabs,o=att") == nil {
+		t.Errorf("commit not applied")
+	}
+	if srv.dir.ByDN("uid=armstrong,ou=attLabs,o=att") != nil {
+		t.Errorf("delete not applied")
+	}
+}
+
+func TestServerIllegalTransactionRollsBack(t *testing.T) {
+	srv, c := startServer(t)
+	c.expectOK("BEGIN")
+	c.send(
+		"ADD ou=empty,ou=attLabs,o=att",
+		"objectClass: orgUnit",
+		"objectClass: orgGroup",
+		"objectClass: top",
+		"COMMIT",
+	)
+	body, term := c.until()
+	if term != "ILLEGAL" {
+		t.Fatalf("expected ILLEGAL, got %q (%v)", term, body)
+	}
+	found := false
+	for _, l := range body {
+		if strings.Contains(l, "orgGroup →de person") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violation detail missing: %v", body)
+	}
+	srv.mu.RLock()
+	defer srv.mu.RUnlock()
+	if srv.dir.Len() != 6 {
+		t.Errorf("rollback incomplete: %d entries", srv.dir.Len())
+	}
+}
+
+func TestServerAbort(t *testing.T) {
+	srv, c := startServer(t)
+	c.expectOK("BEGIN")
+	c.send("ADD uid=x,ou=attLabs,o=att", "objectClass: person", "objectClass: top", "name: x")
+	c.expectOK("ABORT")
+	c.expectOK("CHECK")
+	srv.mu.RLock()
+	defer srv.mu.RUnlock()
+	if srv.dir.Len() != 6 {
+		t.Errorf("abort leaked entries")
+	}
+}
+
+func TestServerSchemaAndStat(t *testing.T) {
+	_, c := startServer(t)
+	body := c.expectOK("SCHEMA")
+	if !strings.Contains(strings.Join(body, "\n"), "require orgGroup descendant person") {
+		t.Errorf("SCHEMA output missing structure element")
+	}
+	body = c.expectOK("STAT")
+	joined := strings.Join(body, "\n")
+	if !strings.Contains(joined, "entries: 6") || !strings.Contains(joined, "class person: 3") {
+		t.Errorf("STAT output wrong:\n%s", joined)
+	}
+	body = c.expectOK("CONSISTENT")
+	if !strings.Contains(strings.Join(body, "\n"), "consistent: true") {
+		t.Errorf("CONSISTENT output wrong: %v", body)
+	}
+}
+
+func TestServerUnknownCommand(t *testing.T) {
+	_, c := startServer(t)
+	c.send("FROBNICATE now")
+	if _, term := c.until(); !strings.HasPrefix(term, "ERR ") {
+		t.Errorf("unknown command: %q", term)
+	}
+	c.expectOK("QUIT")
+}
+
+func TestServerRejectsIllegalInitialInstance(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	d := dirtree.New(s.Registry)
+	if _, err := d.AddRoot("ou=empty", "orgUnit", "orgGroup", "top"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(s, "x", d); err == nil {
+		t.Fatalf("illegal initial instance accepted")
+	}
+}
+
+func TestServerConcurrentReaders(t *testing.T) {
+	srv, _ := startServer(t)
+	addr := srv.ln.Addr().String()
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for k := 0; k < 20; k++ {
+				if _, err := conn.Write([]byte("SEARCH (objectClass=person)\n")); err != nil {
+					done <- err
+					return
+				}
+				lines := 0
+				for {
+					line, err := r.ReadString('\n')
+					if err != nil {
+						done <- err
+						return
+					}
+					if strings.HasPrefix(line, "OK") {
+						break
+					}
+					lines++
+				}
+				if lines != 3 {
+					done <- errLines(lines)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type errLines int
+
+func (e errLines) Error() string { return "unexpected line count" }
+
+var _ = core.ClassTop // anchor the import used in helpers
+
+func TestServerMoveCommand(t *testing.T) {
+	srv, c := startServer(t)
+	c.expectOK("BEGIN")
+	c.expectOK(
+		"MOVE ou=databases,ou=attLabs,o=att o=att",
+		"COMMIT",
+	)
+	c.expectOK("CHECK")
+	srv.mu.RLock()
+	defer srv.mu.RUnlock()
+	if srv.dir.ByDN("uid=laks,ou=databases,o=att") == nil {
+		t.Errorf("move not applied")
+	}
+}
+
+func TestServerJournalReplay(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	journal := t.TempDir() + "/journal.ldif"
+
+	// First server: journal a committed transaction, then close.
+	srv1, err := New(s, "whitepages", workload.WhitePagesInstance(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.OpenJournal(journal); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &client{t: t, conn: conn, r: bufio.NewReader(conn)}
+	c.expectOK("BEGIN")
+	c.expectOK(
+		"ADD uid=journaled,ou=attLabs,o=att",
+		"objectClass: person",
+		"objectClass: top",
+		"name: journaled person",
+		"MOVE ou=databases,ou=attLabs,o=att o=att",
+		"COMMIT",
+	)
+	// A rejected transaction must NOT reach the journal.
+	c.send("BEGIN")
+	if _, term := c.until(); term != "OK" {
+		t.Fatalf("BEGIN failed: %s", term)
+	}
+	c.send("DELETE uid=journaled,ou=attLabs,o=att",
+		"DELETE uid=armstrong,ou=attLabs,o=att",
+		"DELETE uid=laks,ou=databases,o=att",
+		"DELETE uid=suciu,ou=databases,o=att",
+		"COMMIT")
+	if _, term := c.until(); term != "ILLEGAL" {
+		t.Fatalf("deleting every person should be ILLEGAL, got %s", term)
+	}
+	conn.Close()
+	srv1.Close()
+
+	// Second server: same snapshot + journal reproduces the state.
+	srv2, err := New(s, "whitepages", workload.WhitePagesInstance(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.OpenJournal(journal); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	defer srv2.Close()
+	if srv2.dir.ByDN("uid=journaled,ou=attLabs,o=att") == nil {
+		t.Errorf("journaled add lost on replay")
+	}
+	if srv2.dir.ByDN("uid=laks,ou=databases,o=att") == nil {
+		t.Errorf("journaled move lost on replay")
+	}
+	if got := srv2.dir.Len(); got != 7 {
+		t.Errorf("replayed size = %d, want 7", got)
+	}
+	if r := core.NewChecker(s).Check(srv2.dir); !r.Legal() {
+		t.Fatalf("replayed instance illegal:\n%s", r)
+	}
+}
+
+func TestServerSnapshot(t *testing.T) {
+	srv, c := startServer(t)
+	c.expectOK("BEGIN")
+	c.expectOK(
+		"ADD uid=snap,ou=attLabs,o=att",
+		"objectClass: person",
+		"objectClass: top",
+		"name: snapshot person",
+		"COMMIT",
+	)
+	var buf strings.Builder
+	w := bufio.NewWriter(&buf)
+	if err := srv.Snapshot(w); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	if !strings.Contains(buf.String(), "uid=snap,ou=attLabs,o=att") {
+		t.Errorf("snapshot missing committed entry")
+	}
+}
+
+func TestServerSearchWithSpacesInFilter(t *testing.T) {
+	_, c := startServer(t)
+	body := c.expectOK("SEARCH (name=laks lakshmanan)")
+	if len(body) != 1 || !strings.Contains(body[0], "uid=laks") {
+		t.Errorf("spaced filter result = %v", body)
+	}
+	body = c.expectOK("SEARCH (name=laks lakshmanan) base=ou=databases,ou=attLabs,o=att")
+	if len(body) != 1 {
+		t.Errorf("spaced filter with base = %v", body)
+	}
+	c.send("SEARCH name=noparens")
+	if _, term := c.until(); !strings.HasPrefix(term, "ERR ") {
+		t.Errorf("unparenthesized filter accepted: %q", term)
+	}
+}

@@ -1,0 +1,332 @@
+package txn
+
+import (
+	"fmt"
+	"strings"
+
+	"boundschema/internal/core"
+	"boundschema/internal/dirtree"
+	"boundschema/internal/hquery"
+)
+
+// CheckMode selects how the applier verifies legality preservation.
+type CheckMode int
+
+// Check modes.
+const (
+	// CheckIncremental uses the Figure 5 Δ-queries: content checks over
+	// Δ only, incremental structure checks where Theorem 4.2 allows, and
+	// the prescribed rechecks where it does not.
+	CheckIncremental CheckMode = iota
+	// CheckFull rechecks the whole instance after applying everything —
+	// the baseline the incremental path is benchmarked against.
+	CheckFull
+	// CheckNone applies without checking (for bulk loads followed by one
+	// explicit Check).
+	CheckNone
+)
+
+// Applier applies update transactions to a directory while preserving
+// legality, per Section 4. The zero value is not usable; construct with
+// NewApplier.
+type Applier struct {
+	checker *core.Checker
+	// Mode selects the verification strategy; default CheckIncremental.
+	Mode CheckMode
+	// Counts, when non-nil, makes required-class elements incrementally
+	// testable under deletion (the Section 4 counts remark). The index
+	// must have been built over the same directory.
+	Counts *CountIndex
+	// Keys, when non-nil, makes the Section 6.1 key-uniqueness checks
+	// incremental: insertions probe the index instead of rescanning the
+	// instance. Without it, key uniqueness is verified only by CheckFull
+	// (or by an explicit Checker.CheckKeys).
+	Keys *core.KeyIndex
+	// NarrowDeletes enables the ancestor-narrowing extension: the
+	// Figure 5 "N" deletion rows (downward required relationships) are
+	// rechecked only along the deleted subtree's root path, since only
+	// ancestors of Δ can lose witnesses. This is beyond the paper but
+	// preserves verdicts exactly; see the package comment.
+	NarrowDeletes bool
+}
+
+// NewApplier returns an applier checking against the given schema.
+func NewApplier(s *core.Schema) *Applier {
+	return &Applier{checker: core.NewChecker(s)}
+}
+
+// Checker exposes the underlying legality checker.
+func (a *Applier) Checker() *core.Checker { return a.checker }
+
+// Apply normalizes and applies the transaction to d. If the update would
+// make the instance illegal, Apply rolls every operation back and returns
+// the violation report; d is then unchanged. On success the returned
+// report is empty.
+//
+// Per Theorem 4.1, the subtree insertions are applied and checked first,
+// then the subtree deletions, and the verdict is independent of the
+// original operation order.
+func (a *Applier) Apply(d *dirtree.Directory, t *Transaction) (*core.Report, error) {
+	norm, err := Normalize(d, t)
+	if err != nil {
+		return nil, err
+	}
+	return a.ApplyNormalized(d, norm)
+}
+
+// ApplyNormalized applies a pre-normalized update.
+func (a *Applier) ApplyNormalized(d *dirtree.Directory, norm *Normalized) (*core.Report, error) {
+	// Key collisions with entries this same update deletes (a moved
+	// subtree's origin) are excused; the deletion removes them.
+	pendingDelete := func(dn string) bool {
+		for _, root := range norm.Deletes {
+			if dn == root || strings.HasSuffix(dn, ","+root) {
+				return true
+			}
+		}
+		return false
+	}
+	var undo []func() error
+	rollback := func() error {
+		for i := len(undo) - 1; i >= 0; i-- {
+			if err := undo[i](); err != nil {
+				return fmt.Errorf("txn: rollback failed: %v", err)
+			}
+		}
+		if a.Counts != nil {
+			a.Counts.Rebuild(d)
+		}
+		if a.Keys != nil {
+			a.Keys.Rebuild(d)
+		}
+		return nil
+	}
+
+	// Insertions first (Theorem 4.1).
+	for _, ins := range norm.Inserts {
+		var parent *dirtree.Entry
+		if ins.ParentDN != "" {
+			parent = d.ByDN(ins.ParentDN)
+			if parent == nil {
+				if rerr := rollback(); rerr != nil {
+					return nil, rerr
+				}
+				return nil, fmt.Errorf("txn: graft parent %q vanished", ins.ParentDN)
+			}
+		}
+		root, err := d.GraftSubtree(parent, ins.Fragment.Roots()[0])
+		if err != nil {
+			if rerr := rollback(); rerr != nil {
+				return nil, rerr
+			}
+			return nil, err
+		}
+		rootDN := root.DN()
+		undo = append(undo, func() error {
+			e := d.ByDN(rootDN)
+			if e == nil {
+				return fmt.Errorf("inserted root %q vanished", rootDN)
+			}
+			_, err := d.DeleteSubtree(e)
+			return err
+		})
+		if a.Counts != nil {
+			a.Counts.NoteInsert(d, root)
+		}
+		if a.Keys != nil {
+			if r := a.Keys.CheckInsertExcluding(d, root, pendingDelete); !r.Legal() {
+				if rerr := rollback(); rerr != nil {
+					return nil, rerr
+				}
+				return r, nil
+			}
+			a.Keys.NoteInsert(d, root)
+		}
+		if r := a.checkInsert(d, root); !r.Legal() {
+			if rerr := rollback(); rerr != nil {
+				return nil, rerr
+			}
+			return r, nil
+		}
+	}
+
+	// Then deletions.
+	for _, dn := range norm.Deletes {
+		root := d.ByDN(dn)
+		if root == nil {
+			if rerr := rollback(); rerr != nil {
+				return nil, rerr
+			}
+			return nil, fmt.Errorf("txn: delete root %q vanished", dn)
+		}
+		if r := a.checkDelete(d, root); !r.Legal() {
+			if rerr := rollback(); rerr != nil {
+				return nil, rerr
+			}
+			return r, nil
+		}
+		// Keep a copy for rollback, then delete.
+		saved := dirtree.New(d.Registry())
+		if _, err := saved.GraftSubtree(nil, root); err != nil {
+			return nil, err
+		}
+		parentDN := ""
+		if p := root.Parent(); p != nil {
+			parentDN = p.DN()
+		}
+		if a.Counts != nil {
+			a.Counts.NoteDelete(d, root)
+		}
+		if a.Keys != nil {
+			a.Keys.NoteDelete(d, root)
+		}
+		if _, err := d.DeleteSubtree(root); err != nil {
+			return nil, err
+		}
+		undo = append(undo, func() error {
+			var parent *dirtree.Entry
+			if parentDN != "" {
+				parent = d.ByDN(parentDN)
+				if parent == nil {
+					return fmt.Errorf("delete parent %q vanished", parentDN)
+				}
+			}
+			_, err := d.GraftSubtree(parent, saved.Roots()[0])
+			return err
+		})
+	}
+
+	if a.Mode == CheckFull {
+		if r := a.checker.Check(d); !r.Legal() {
+			if rerr := rollback(); rerr != nil {
+				return nil, rerr
+			}
+			return r, nil
+		}
+	}
+	return &core.Report{}, nil
+}
+
+// checkInsert verifies that the grafted subtree preserves legality.
+func (a *Applier) checkInsert(d *dirtree.Directory, root *dirtree.Entry) *core.Report {
+	r := &core.Report{}
+	if a.Mode != CheckIncremental {
+		return r // CheckFull verifies at the end; CheckNone never.
+	}
+	// Content schema: insertion preserves content legality iff Δ itself
+	// is content-legal (Section 4.2).
+	for _, e := range d.SubtreeView(root).Entries() {
+		r.Merge(a.checker.CheckEntry(e))
+	}
+	// Structure schema: the Figure 5 insertion rows.
+	b := hquery.DeltaBinding(d, root)
+	for _, chk := range core.InsertChecks(a.checker.Schema().Structure) {
+		if !chk.Holds(b) {
+			r.Add(core.Violation{
+				Kind:    violationKindFor(chk.Element),
+				Element: chk.Element,
+				Detail:  "insertion breaks this element (Figure 5 check)",
+			})
+		}
+	}
+	return r
+}
+
+// checkDelete verifies, before removal, that deleting the subtree
+// preserves legality.
+func (a *Applier) checkDelete(d *dirtree.Directory, root *dirtree.Entry) *core.Report {
+	r := &core.Report{}
+	if a.Mode != CheckIncremental {
+		return r
+	}
+	b := hquery.DeltaBinding(d, root)
+	for _, chk := range core.DeleteChecks(a.checker.Schema().Structure) {
+		if rc, ok := chk.Element.(core.RequiredClass); ok && a.Counts != nil {
+			// Counts make c⇓ incrementally testable under deletion.
+			if a.Counts.Count(rc.Class)-countInSubtree(d, root, rc.Class) <= 0 {
+				r.Add(core.Violation{
+					Kind:    core.ViolationMissingClass,
+					Element: chk.Element,
+					Detail:  "deletion removes the last entry of a required class (count index)",
+				})
+			}
+			continue
+		}
+		if rel, ok := chk.Element.(core.RequiredRel); ok && !chk.Incremental && a.NarrowDeletes {
+			if w := NarrowedDeleteCheck(d, root, rel); w != nil {
+				r.Add(core.Violation{
+					Kind:    core.ViolationRequiredRel,
+					Entry:   w,
+					Element: rel,
+					Detail:  "deletion removes the last witness (ancestor-narrowed check)",
+				})
+			}
+			continue
+		}
+		if !chk.Holds(b) {
+			r.Add(core.Violation{
+				Kind:    violationKindFor(chk.Element),
+				Element: chk.Element,
+				Detail:  "deletion breaks this element (Figure 5 check)",
+			})
+		}
+	}
+	return r
+}
+
+// NarrowedDeleteCheck rechecks a downward required relationship only for
+// the ancestors of the subtree about to be deleted — the only entries
+// whose child or descendant sets shrink. It returns a violating entry or
+// nil, with the same verdict as the full Figure 5 recheck. This is the
+// ancestor-narrowing extension (see the package comment).
+func NarrowedDeleteCheck(d *dirtree.Directory, root *dirtree.Entry, rel core.RequiredRel) *dirtree.Entry {
+	base := d.ExceptSubtreeView(root)
+	for anc := root.Parent(); anc != nil; anc = anc.Parent() {
+		if !anc.HasClass(rel.Source) {
+			continue
+		}
+		if !hasSurvivingWitness(anc, rel, base) {
+			return anc
+		}
+	}
+	return nil
+}
+
+func hasSurvivingWitness(e *dirtree.Entry, rel core.RequiredRel, base dirtree.View) bool {
+	if rel.Axis == core.AxisChild {
+		for _, c := range e.Children() {
+			if c.HasClass(rel.Target) && base.Contains(c) {
+				return true
+			}
+		}
+		return false
+	}
+	var walk func(n *dirtree.Entry) bool
+	walk = func(n *dirtree.Entry) bool {
+		for _, c := range n.Children() {
+			if !base.Contains(c) {
+				continue
+			}
+			if c.HasClass(rel.Target) || walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(e)
+}
+
+func countInSubtree(d *dirtree.Directory, root *dirtree.Entry, class string) int {
+	return len(d.SubtreeView(root).ClassEntries(class))
+}
+
+func violationKindFor(el core.Element) core.ViolationKind {
+	switch el.(type) {
+	case core.RequiredClass:
+		return core.ViolationMissingClass
+	case core.RequiredRel:
+		return core.ViolationRequiredRel
+	default:
+		return core.ViolationForbiddenRel
+	}
+}

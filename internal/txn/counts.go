@@ -1,0 +1,57 @@
+package txn
+
+import (
+	"boundschema/internal/dirtree"
+)
+
+// CountIndex maintains per-class entry counts alongside a directory,
+// implementing the Section 4 remark: "if we had the ability to associate
+// each ci with the number of entries that belong to ci, then Cr would
+// also be incrementally testable for deletion". With the index, a
+// deletion's required-class check is an O(|Δ|) count comparison instead
+// of a scan of the survivors.
+type CountIndex struct {
+	counts map[string]int
+}
+
+// NewCountIndex builds the index over the current instance.
+func NewCountIndex(d *dirtree.Directory) *CountIndex {
+	ci := &CountIndex{}
+	ci.Rebuild(d)
+	return ci
+}
+
+// Rebuild recomputes all counts from scratch.
+func (ci *CountIndex) Rebuild(d *dirtree.Directory) {
+	ci.counts = make(map[string]int)
+	for _, e := range d.Entries() {
+		for _, c := range e.Classes() {
+			ci.counts[c]++
+		}
+	}
+}
+
+// Count returns the number of entries that belong to class c.
+func (ci *CountIndex) Count(c string) int { return ci.counts[c] }
+
+// NoteInsert updates the counts for a grafted subtree.
+func (ci *CountIndex) NoteInsert(d *dirtree.Directory, root *dirtree.Entry) {
+	for _, e := range d.SubtreeView(root).Entries() {
+		for _, c := range e.Classes() {
+			ci.counts[c]++
+		}
+	}
+}
+
+// NoteDelete updates the counts for a subtree about to be deleted (or
+// rolls back a NoteInsert).
+func (ci *CountIndex) NoteDelete(d *dirtree.Directory, root *dirtree.Entry) {
+	for _, e := range d.SubtreeView(root).Entries() {
+		for _, c := range e.Classes() {
+			ci.counts[c]--
+			if ci.counts[c] == 0 {
+				delete(ci.counts, c)
+			}
+		}
+	}
+}

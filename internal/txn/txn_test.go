@@ -1,0 +1,786 @@
+package txn
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"boundschema/internal/core"
+	"boundschema/internal/dirtree"
+	"boundschema/internal/ldif"
+	"boundschema/internal/workload"
+)
+
+func person(name string) map[string][]dirtree.Value {
+	return map[string][]dirtree.Value{"name": {dirtree.String(name)}}
+}
+
+func TestNormalizeGroupsSubtrees(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	d := workload.WhitePagesInstance(s)
+	tx := &Transaction{}
+	// One inserted subtree of three entries plus an independent person.
+	tx.Add("ou=networking,ou=attLabs,o=att", []string{"orgUnit", "orgGroup", "top"}, nil)
+	tx.Add("uid=pat,ou=networking,ou=attLabs,o=att", []string{"person", "top"}, person("pat"))
+	tx.Add("uid=kim,ou=networking,ou=attLabs,o=att", []string{"person", "top"}, person("kim"))
+	tx.Add("uid=lee,ou=databases,ou=attLabs,o=att", []string{"person", "top"}, person("lee"))
+	// One deleted subtree: armstrong.
+	tx.Delete("uid=armstrong,ou=attLabs,o=att")
+
+	norm, err := Normalize(d, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(norm.Inserts) != 2 {
+		t.Fatalf("inserts = %d, want 2", len(norm.Inserts))
+	}
+	sizes := []int{norm.Inserts[0].Fragment.Len(), norm.Inserts[1].Fragment.Len()}
+	if !(sizes[0] == 3 && sizes[1] == 1 || sizes[0] == 1 && sizes[1] == 3) {
+		t.Errorf("fragment sizes = %v, want {3,1}", sizes)
+	}
+	if len(norm.Deletes) != 1 || norm.Deletes[0] != "uid=armstrong,ou=attLabs,o=att" {
+		t.Errorf("deletes = %v", norm.Deletes)
+	}
+}
+
+func TestNormalizeDeleteSubtreeRoots(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	d := workload.WhitePagesInstance(s)
+	tx := &Transaction{}
+	// Delete the whole databases subtree, listed in arbitrary order.
+	tx.Delete("uid=laks,ou=databases,ou=attLabs,o=att")
+	tx.Delete("ou=databases,ou=attLabs,o=att")
+	tx.Delete("uid=suciu,ou=databases,ou=attLabs,o=att")
+	norm, err := Normalize(d, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(norm.Deletes) != 1 || norm.Deletes[0] != "ou=databases,ou=attLabs,o=att" {
+		t.Errorf("deletes = %v, want just the subtree root", norm.Deletes)
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	base := "ou=attLabs,o=att"
+	cases := []struct {
+		name string
+		tx   func() *Transaction
+		want string
+	}{
+		{"duplicate op", func() *Transaction {
+			tx := &Transaction{}
+			tx.Delete("uid=armstrong," + base)
+			tx.Delete("uid=armstrong," + base)
+			return tx
+		}, "duplicate"},
+		{"delete missing", func() *Transaction {
+			tx := &Transaction{}
+			tx.Delete("uid=ghost," + base)
+			return tx
+		}, "missing"},
+		{"orphaning delete", func() *Transaction {
+			tx := &Transaction{}
+			tx.Delete("ou=databases," + base)
+			return tx
+		}, "orphan"},
+		{"add under missing parent", func() *Transaction {
+			tx := &Transaction{}
+			tx.Add("uid=x,ou=ghost,"+base, []string{"person", "top"}, nil)
+			return tx
+		}, "does not exist"},
+		{"child before parent", func() *Transaction {
+			tx := &Transaction{}
+			tx.Add("uid=x,ou=new,"+base, []string{"person", "top"}, nil)
+			tx.Add("ou=new,"+base, []string{"orgUnit", "orgGroup", "top"}, nil)
+			return tx
+		}, "before its parent"},
+		{"add below deleted", func() *Transaction {
+			tx := &Transaction{}
+			tx.Delete("uid=laks,ou=databases," + base)
+			tx.Delete("uid=suciu,ou=databases," + base)
+			tx.Delete("ou=databases," + base)
+			tx.Add("uid=x,ou=databases,"+base, []string{"person", "top"}, nil)
+			return tx
+		}, "deleted"},
+		{"add existing", func() *Transaction {
+			tx := &Transaction{}
+			tx.Add("uid=armstrong,"+base, []string{"person", "top"}, nil)
+			return tx
+		}, "already exists"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := workload.WhitePagesInstance(s)
+			_, err := Normalize(d, c.tx())
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestApplyLegalTransaction(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	d := workload.WhitePagesInstance(s)
+	a := NewApplier(s)
+	tx := &Transaction{}
+	tx.Add("ou=networking,ou=attLabs,o=att", []string{"orgUnit", "orgGroup", "top"}, nil)
+	tx.Add("uid=pat,ou=networking,ou=attLabs,o=att", []string{"person", "top"}, person("pat"))
+	tx.Delete("uid=armstrong,ou=attLabs,o=att")
+
+	r, err := a.Apply(d, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Legal() {
+		t.Fatalf("legal transaction rejected:\n%s", r)
+	}
+	if d.ByDN("uid=pat,ou=networking,ou=attLabs,o=att") == nil {
+		t.Errorf("insert not applied")
+	}
+	if d.ByDN("uid=armstrong,ou=attLabs,o=att") != nil {
+		t.Errorf("delete not applied")
+	}
+	if rep := core.NewChecker(s).Check(d); !rep.Legal() {
+		t.Fatalf("instance illegal after apply:\n%s", rep)
+	}
+}
+
+func TestApplyRollsBackOnViolation(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	d := workload.WhitePagesInstance(s)
+	before := d.String()
+	a := NewApplier(s)
+
+	// The Section 4.2 example: an empty orgUnit violates
+	// orgGroup →de person.
+	tx := &Transaction{}
+	tx.Add("uid=extra,ou=databases,ou=attLabs,o=att", []string{"person", "top"}, person("extra"))
+	tx.Add("ou=empty,ou=attLabs,o=att", []string{"orgUnit", "orgGroup", "top"}, nil)
+	r, err := a.Apply(d, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Legal() {
+		t.Fatalf("violating transaction accepted")
+	}
+	if d.String() != before {
+		t.Errorf("rollback incomplete:\n%s\nvs\n%s", d.String(), before)
+	}
+	if d.Len() != 6 {
+		t.Errorf("len = %d after rollback, want 6", d.Len())
+	}
+}
+
+func TestApplyPaperSuciuExample(t *testing.T) {
+	// Section 4.2: adding an orgUnit under suciu violates both
+	// orgUnit →pa orgGroup (the unit's parent is a person) and
+	// person ⇥ch top.
+	s := workload.WhitePagesSchema()
+	d := workload.WhitePagesInstance(s)
+	a := NewApplier(s)
+	tx := &Transaction{}
+	tx.Add("ou=bad,uid=suciu,ou=databases,ou=attLabs,o=att", []string{"orgUnit", "orgGroup", "top"}, nil)
+	tx.Add("uid=kid,ou=bad,uid=suciu,ou=databases,ou=attLabs,o=att", []string{"person", "top"}, person("kid"))
+	r, err := a.Apply(d, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Legal() {
+		t.Fatalf("paper's violating insertion accepted")
+	}
+	kinds := map[core.ViolationKind]bool{}
+	for _, v := range r.Violations {
+		kinds[v.Kind] = true
+	}
+	if !kinds[core.ViolationRequiredRel] || !kinds[core.ViolationForbiddenRel] {
+		t.Errorf("expected both violation kinds, got:\n%s", r)
+	}
+}
+
+func TestDeleteLastPersonRejected(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	d := workload.WhitePagesInstance(s)
+	for _, mode := range []struct {
+		name   string
+		counts bool
+	}{{"scan", false}, {"count-index", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			dd := d.Clone()
+			a := NewApplier(s)
+			if mode.counts {
+				a.Counts = NewCountIndex(dd)
+			}
+			// Deleting all three persons breaks person⇓ and
+			// orgGroup →de person.
+			tx := &Transaction{}
+			tx.Delete("uid=armstrong,ou=attLabs,o=att")
+			tx.Delete("uid=laks,ou=databases,ou=attLabs,o=att")
+			tx.Delete("uid=suciu,ou=databases,ou=attLabs,o=att")
+			r, err := a.Apply(dd, tx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Legal() {
+				t.Fatalf("deleting every person accepted")
+			}
+			if dd.Len() != 6 {
+				t.Errorf("rollback incomplete: len = %d", dd.Len())
+			}
+			if mode.counts {
+				// The index must reflect the rolled-back state.
+				if a.Counts.Count("person") != 3 {
+					t.Errorf("count index desynced: person = %d", a.Counts.Count("person"))
+				}
+			}
+		})
+	}
+}
+
+func TestFromRecords(t *testing.T) {
+	src := `dn: uid=new,ou=attLabs,o=att
+changetype: add
+objectClass: person
+objectClass: top
+name: new person
+
+dn: uid=armstrong,ou=attLabs,o=att
+changetype: delete
+`
+	recs, err := ldif.NewReader(strings.NewReader(src)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := workload.WhitePagesSchema()
+	tx, err := FromRecords(recs, s.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.Len() != 2 || tx.Ops[0].Kind != OpAdd || tx.Ops[1].Kind != OpDelete {
+		t.Fatalf("tx = %+v", tx)
+	}
+	d := workload.WhitePagesInstance(s)
+	a := NewApplier(s)
+	r, err := a.Apply(d, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Legal() {
+		t.Fatalf("LDIF transaction rejected:\n%s", r)
+	}
+}
+
+func TestFromRecordsRejectsContentRecord(t *testing.T) {
+	recs := []*ldif.Record{{DN: "o=x", Change: ldif.ChangeNone}}
+	if _, err := FromRecords(recs, dirtree.NewRegistry()); err == nil {
+		t.Error("content record accepted as change")
+	}
+}
+
+// TestQuickIncrementalAgreesWithFull: on random legal corpora and random
+// transactions, the incremental applier must accept/reject exactly as a
+// full recheck does, for all applier configurations (Theorems 4.1/4.2).
+func TestQuickIncrementalAgreesWithFull(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	f := func(seed int64, nops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := workload.Corpus(s, rng, 40)
+
+		tx := randomTransaction(s, d, rng, int(nops%6)+1)
+
+		full := d.Clone()
+		fullApplier := NewApplier(s)
+		fullApplier.Mode = CheckFull
+		rFull, errFull := fullApplier.Apply(full, tx)
+
+		for _, cfg := range []struct {
+			counts, narrow bool
+		}{{false, false}, {true, false}, {false, true}, {true, true}} {
+			inc := d.Clone()
+			a := NewApplier(s)
+			if cfg.counts {
+				a.Counts = NewCountIndex(inc)
+			}
+			a.NarrowDeletes = cfg.narrow
+			rInc, errInc := a.Apply(inc, tx)
+			if (errFull != nil) != (errInc != nil) {
+				t.Logf("error mismatch: full=%v inc=%v", errFull, errInc)
+				return false
+			}
+			if errFull != nil {
+				continue
+			}
+			if rFull.Legal() != rInc.Legal() {
+				t.Logf("verdict mismatch (counts=%v narrow=%v): full=%v inc=%v\nfull:\n%s\ninc:\n%s",
+					cfg.counts, cfg.narrow, rFull.Legal(), rInc.Legal(), rFull, rInc)
+				return false
+			}
+			if rFull.Legal() && canonical(inc) != canonical(full) {
+				t.Logf("applied instances differ")
+				return false
+			}
+			if !rFull.Legal() && canonical(inc) != canonical(d) {
+				t.Logf("rollback differs from original")
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomTransaction builds a mix of legality-preserving and violating
+// operations.
+func randomTransaction(s *core.Schema, d *dirtree.Directory, rng *rand.Rand, n int) *Transaction {
+	tx := &Transaction{}
+	ents := d.Entries()
+	used := map[string]bool{}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0: // insert a well-formed orgUnit+person under a random entry
+			parent := ents[rng.Intn(len(ents))]
+			dn := "ou=t" + itoa(i) + "," + parent.DN()
+			if used[dn] {
+				continue
+			}
+			used[dn] = true
+			tx.Add(dn, []string{"orgUnit", "orgGroup", "top"}, nil)
+			tx.Add("uid=tp"+itoa(i)+","+dn, []string{"person", "top"}, person("t"))
+		case 1: // insert a bare person under a random entry
+			parent := ents[rng.Intn(len(ents))]
+			dn := "uid=s" + itoa(i) + "," + parent.DN()
+			if used[dn] {
+				continue
+			}
+			used[dn] = true
+			attrs := person("s")
+			if rng.Intn(5) == 0 {
+				attrs = nil // missing required name: content violation
+			}
+			tx.Add(dn, []string{"person", "top"}, attrs)
+		case 2: // insert an empty orgUnit (often violating)
+			parent := ents[rng.Intn(len(ents))]
+			dn := "ou=e" + itoa(i) + "," + parent.DN()
+			if used[dn] {
+				continue
+			}
+			used[dn] = true
+			tx.Add(dn, []string{"orgUnit", "orgGroup", "top"}, nil)
+		default: // delete a random leaf (and sometimes a subtree)
+			e := ents[rng.Intn(len(ents))]
+			if e.Parent() == nil {
+				continue
+			}
+			ok := true
+			var dns []string
+			var collect func(x *dirtree.Entry)
+			collect = func(x *dirtree.Entry) {
+				if used[x.DN()] {
+					ok = false
+					return
+				}
+				dns = append(dns, x.DN())
+				for _, c := range x.Children() {
+					collect(c)
+				}
+			}
+			collect(e)
+			if !ok || len(dns) > 8 {
+				continue
+			}
+			for _, dn := range dns {
+				used[dn] = true
+				tx.Delete(dn)
+			}
+		}
+	}
+	return tx
+}
+
+// canonical renders a directory outline with children sorted by RDN, so
+// instances that differ only in sibling order compare equal (rollback
+// re-grafts at the end of the child list).
+func canonical(d *dirtree.Directory) string {
+	var b strings.Builder
+	var walk func(e *dirtree.Entry, depth int)
+	walk = func(e *dirtree.Entry, depth int) {
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		b.WriteString(e.RDN())
+		b.WriteString(" (")
+		b.WriteString(strings.Join(e.Classes(), ","))
+		b.WriteString(")\n")
+		kids := append([]*dirtree.Entry(nil), e.Children()...)
+		sort.Slice(kids, func(i, j int) bool { return kids[i].RDN() < kids[j].RDN() })
+		for _, c := range kids {
+			walk(c, depth+1)
+		}
+	}
+	roots := append([]*dirtree.Entry(nil), d.Roots()...)
+	sort.Slice(roots, func(i, j int) bool { return roots[i].RDN() < roots[j].RDN() })
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	s := ""
+	for i > 0 {
+		s = string(rune('0'+i%10)) + s
+		i /= 10
+	}
+	return s
+}
+
+func TestRootInsertion(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	d := workload.WhitePagesInstance(s)
+	a := NewApplier(s)
+	tx := &Transaction{}
+	// A second legal organization tree at the root.
+	tx.Add("o=bell", []string{"organization", "orgGroup", "top"}, nil)
+	tx.Add("ou=unit,o=bell", []string{"orgUnit", "orgGroup", "top"}, nil)
+	tx.Add("uid=who,ou=unit,o=bell", []string{"person", "top"}, person("who"))
+	r, err := a.Apply(d, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Legal() {
+		t.Fatalf("legal root insertion rejected:\n%s", r)
+	}
+	if len(d.Roots()) != 2 {
+		t.Errorf("roots = %d, want 2", len(d.Roots()))
+	}
+	if rep := core.NewChecker(s).Check(d); !rep.Legal() {
+		t.Fatalf("instance illegal after root insert:\n%s", rep)
+	}
+}
+
+func TestApplierModes(t *testing.T) {
+	s := workload.WhitePagesSchema()
+
+	t.Run("CheckNone applies without validation", func(t *testing.T) {
+		d := workload.WhitePagesInstance(s)
+		a := NewApplier(s)
+		a.Mode = CheckNone
+		tx := &Transaction{}
+		tx.Add("ou=empty,ou=attLabs,o=att", []string{"orgUnit", "orgGroup", "top"}, nil)
+		r, err := a.Apply(d, tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Legal() {
+			t.Fatalf("CheckNone must not report violations")
+		}
+		// The instance is now actually illegal.
+		if core.NewChecker(s).Check(d).Legal() {
+			t.Fatalf("expected the bulk-loaded instance to be illegal")
+		}
+	})
+
+	t.Run("CheckFull rejects and rolls back", func(t *testing.T) {
+		d := workload.WhitePagesInstance(s)
+		a := NewApplier(s)
+		a.Mode = CheckFull
+		tx := &Transaction{}
+		tx.Add("ou=empty,ou=attLabs,o=att", []string{"orgUnit", "orgGroup", "top"}, nil)
+		r, err := a.Apply(d, tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Legal() {
+			t.Fatalf("CheckFull accepted a violating insert")
+		}
+		if d.Len() != 6 {
+			t.Errorf("rollback incomplete")
+		}
+	})
+}
+
+func TestCountIndexLifecycle(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	d := workload.WhitePagesInstance(s)
+	ci := NewCountIndex(d)
+	if ci.Count("person") != 3 || ci.Count("organization") != 1 || ci.Count("ghost") != 0 {
+		t.Fatalf("initial counts wrong")
+	}
+	labs := d.ByDN("ou=attLabs,o=att")
+	frag := dirtree.New(s.Registry)
+	fr, _ := frag.AddRoot("ou=new", "orgUnit", "orgGroup", "top")
+	p, _ := frag.AddChild(fr, "uid=np", "person", "top")
+	p.AddValue("name", dirtree.String("np"))
+	root, err := d.GraftSubtree(labs, frag.Roots()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci.NoteInsert(d, root)
+	if ci.Count("person") != 4 || ci.Count("orgUnit") != 3 {
+		t.Errorf("counts after insert wrong: person=%d orgUnit=%d", ci.Count("person"), ci.Count("orgUnit"))
+	}
+	ci.NoteDelete(d, root)
+	if ci.Count("person") != 3 {
+		t.Errorf("counts after delete wrong")
+	}
+	ci.Rebuild(d)
+	if ci.Count("person") != 4 { // the grafted person is still in d
+		t.Errorf("rebuild wrong: person=%d", ci.Count("person"))
+	}
+}
+
+func TestApplierKeyIndex(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	s.Attrs.Allow("person", "employeeID")
+	s.DeclareKey("employeeID")
+	d := workload.WhitePagesInstance(s)
+	laks := d.ByDN("uid=laks,ou=databases,ou=attLabs,o=att")
+	laks.AddValue("employeeID", dirtree.String("E-1"))
+
+	a := NewApplier(s)
+	a.Keys = core.NewKeyIndex(s, d)
+
+	attrs := func(id string) map[string][]dirtree.Value {
+		return map[string][]dirtree.Value{
+			"name":       {dirtree.String("x")},
+			"employeeID": {dirtree.String(id)},
+		}
+	}
+	// Colliding key: rejected and rolled back.
+	tx := &Transaction{}
+	tx.Add("uid=dup,ou=attLabs,o=att", []string{"person", "top"}, attrs("E-1"))
+	r, err := a.Apply(d, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Legal() {
+		t.Fatalf("key collision accepted")
+	}
+	if len(r.ByKind(core.ViolationDuplicateKey)) == 0 {
+		t.Fatalf("wrong violation kind:\n%s", r)
+	}
+	if d.Len() != 6 {
+		t.Errorf("rollback incomplete")
+	}
+	// Fresh key: accepted; then its value becomes occupied.
+	tx = &Transaction{}
+	tx.Add("uid=ok,ou=attLabs,o=att", []string{"person", "top"}, attrs("E-2"))
+	if r, err := a.Apply(d, tx); err != nil || !r.Legal() {
+		t.Fatalf("fresh key rejected: %v %s", err, r)
+	}
+	tx = &Transaction{}
+	tx.Add("uid=dup2,ou=attLabs,o=att", []string{"person", "top"}, attrs("E-2"))
+	if r, err := a.Apply(d, tx); err != nil || r.Legal() {
+		t.Fatalf("occupied key accepted: %v", err)
+	}
+	// Deleting the holder frees the key.
+	tx = &Transaction{}
+	tx.Delete("uid=ok,ou=attLabs,o=att")
+	if r, err := a.Apply(d, tx); err != nil || !r.Legal() {
+		t.Fatalf("delete rejected: %v %s", err, r)
+	}
+	tx = &Transaction{}
+	tx.Add("uid=dup3,ou=attLabs,o=att", []string{"person", "top"}, attrs("E-2"))
+	if r, err := a.Apply(d, tx); err != nil || !r.Legal() {
+		t.Fatalf("freed key rejected: %v %s", err, r)
+	}
+}
+
+func TestMoveSubtree(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	d := workload.WhitePagesInstance(s)
+	a := NewApplier(s)
+
+	// Move the databases unit (and its two researchers) directly under
+	// the organization. Everything stays legal.
+	tx := &Transaction{}
+	tx.Move("ou=databases,ou=attLabs,o=att", "o=att")
+	r, err := a.Apply(d, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Legal() {
+		t.Fatalf("legal move rejected:\n%s", r)
+	}
+	if d.ByDN("ou=databases,ou=attLabs,o=att") != nil {
+		t.Errorf("origin still present")
+	}
+	moved := d.ByDN("uid=laks,ou=databases,o=att")
+	if moved == nil {
+		t.Fatalf("moved descendant missing")
+	}
+	if n := len(moved.Attr("mail")); n != 2 {
+		t.Errorf("moved entry lost attributes: mail=%d", n)
+	}
+	if rep := core.NewChecker(s).Check(d); !rep.Legal() {
+		t.Fatalf("instance illegal after move:\n%s", rep)
+	}
+}
+
+func TestMoveRejectedWhenIllegal(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	d := workload.WhitePagesInstance(s)
+	before := canonical(d)
+	a := NewApplier(s)
+
+	// Moving the unit under a person breaks person ⇥ch top and
+	// orgUnit →pa orgGroup.
+	tx := &Transaction{}
+	tx.Move("ou=databases,ou=attLabs,o=att", "uid=armstrong,ou=attLabs,o=att")
+	r, err := a.Apply(d, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Legal() {
+		t.Fatalf("illegal move accepted")
+	}
+	if canonical(d) != before {
+		t.Errorf("rollback incomplete after rejected move")
+	}
+}
+
+func TestMoveErrors(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	d := workload.WhitePagesInstance(s)
+	cases := []struct {
+		name, dn, dest, want string
+	}{
+		{"missing source", "ou=ghost,o=att", "o=att", "missing"},
+		{"missing destination", "ou=databases,ou=attLabs,o=att", "ou=ghost,o=att", "does not exist"},
+		{"below itself", "ou=attLabs,o=att", "ou=databases,ou=attLabs,o=att", "below itself"},
+		{"target exists", "ou=databases,ou=attLabs,o=att", "ou=databases,ou=attLabs,o=att", "below itself"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tx := &Transaction{}
+			tx.Move(c.dn, c.dest)
+			if _, err := Normalize(d, tx); err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestMoveToRoot(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	d := workload.WhitePagesInstance(s)
+	a := NewApplier(s)
+	// An orgUnit at the root violates orgUnit →pa orgGroup: rejected.
+	tx := &Transaction{}
+	tx.Move("ou=databases,ou=attLabs,o=att", "")
+	r, err := a.Apply(d, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Legal() {
+		t.Fatalf("root move should violate orgUnit →pa orgGroup")
+	}
+	if d.Len() != 6 {
+		t.Errorf("rollback incomplete")
+	}
+}
+
+func TestMoveWithKeyIndex(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	s.Attrs.Allow("person", "employeeID")
+	s.DeclareKey("employeeID")
+	d := workload.WhitePagesInstance(s)
+	laks := d.ByDN("uid=laks,ou=databases,ou=attLabs,o=att")
+	laks.AddValue("employeeID", dirtree.String("E-1"))
+
+	a := NewApplier(s)
+	a.Keys = core.NewKeyIndex(s, d)
+	// Moving the subtree that HOLDS the key must not self-collide.
+	tx := &Transaction{}
+	tx.Move("ou=databases,ou=attLabs,o=att", "o=att")
+	r, err := a.Apply(d, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Legal() {
+		t.Fatalf("self-move flagged as key collision:\n%s", r)
+	}
+	// The key is still indexed at its new location: a fresh duplicate is
+	// rejected.
+	tx = &Transaction{}
+	tx.Add("uid=dup,ou=attLabs,o=att", []string{"person", "top"},
+		map[string][]dirtree.Value{
+			"name":       {dirtree.String("dup")},
+			"employeeID": {dirtree.String("E-1")},
+		})
+	r, err = a.Apply(d, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Legal() {
+		t.Fatalf("duplicate of moved key accepted")
+	}
+}
+
+// TestWriteChangesRoundTrip: a transaction serialized as LDIF change
+// records parses back to an equivalent transaction, and both apply to the
+// same result.
+func TestWriteChangesRoundTrip(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	tx := &Transaction{}
+	tx.Add("ou=networking,ou=attLabs,o=att", []string{"orgUnit", "orgGroup", "top"}, nil)
+	tx.Add("uid=pat,ou=networking,ou=attLabs,o=att", []string{"person", "top"},
+		map[string][]dirtree.Value{"name": {dirtree.String("pat doe")}})
+	tx.Delete("uid=armstrong,ou=attLabs,o=att")
+	tx.Move("ou=databases,ou=attLabs,o=att", "o=att")
+
+	var buf strings.Builder
+	if err := tx.WriteChanges(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ldif.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("serialized changes do not parse: %v\n%s", err, buf.String())
+	}
+	back, err := FromRecords(recs, s.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tx.Len() {
+		t.Fatalf("op count changed: %d -> %d", tx.Len(), back.Len())
+	}
+	for i, op := range tx.Ops {
+		if back.Ops[i].Kind != op.Kind || back.Ops[i].DN != op.DN || back.Ops[i].NewParentDN != op.NewParentDN {
+			t.Errorf("op %d changed: %+v -> %+v", i, op, back.Ops[i])
+		}
+	}
+
+	d1 := workload.WhitePagesInstance(s)
+	d2 := workload.WhitePagesInstance(s)
+	a := NewApplier(s)
+	r1, err1 := a.Apply(d1, tx)
+	r2, err2 := a.Apply(d2, back)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("apply: %v / %v", err1, err2)
+	}
+	if r1.Legal() != r2.Legal() || canonical(d1) != canonical(d2) {
+		t.Fatalf("round-tripped transaction applies differently")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpAdd.String() != "add" || OpDelete.String() != "delete" || OpMove.String() != "move" {
+		t.Errorf("OpKind strings wrong")
+	}
+	if OpKind(99).String() != "?" {
+		t.Errorf("unknown kind should render ?")
+	}
+	s := workload.WhitePagesSchema()
+	a := NewApplier(s)
+	if a.Checker() == nil || a.Checker().Schema() != s {
+		t.Errorf("Checker accessor wrong")
+	}
+}

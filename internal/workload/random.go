@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"boundschema/internal/core"
+	"boundschema/internal/dirtree"
+)
+
+// SchemaConfig parameterizes RandomSchema.
+type SchemaConfig struct {
+	// Classes is the number of core classes besides top.
+	Classes int
+	// Required is the number of required structural relationships.
+	Required int
+	// Forbidden is the number of forbidden structural relationships.
+	Forbidden int
+	// RequiredClasses is the number of c⇓ elements.
+	RequiredClasses int
+	// Deep biases the class hierarchy toward chains instead of a flat
+	// fan-out under top.
+	Deep bool
+}
+
+// RandomSchema generates a random bounding-schema. It may or may not be
+// consistent; use core.CheckConsistency to decide.
+func RandomSchema(rng *rand.Rand, cfg SchemaConfig) *core.Schema {
+	s := core.NewSchema()
+	names := make([]string, cfg.Classes)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+		super := core.ClassTop
+		if i > 0 {
+			if cfg.Deep && rng.Intn(3) != 0 {
+				super = names[rng.Intn(i)]
+			} else if !cfg.Deep && rng.Intn(4) == 0 {
+				super = names[rng.Intn(i)]
+			}
+		}
+		if err := s.Classes.AddCore(names[i], super); err != nil {
+			panic(err)
+		}
+	}
+	pick := func() string { return names[rng.Intn(len(names))] }
+	for i := 0; i < cfg.RequiredClasses; i++ {
+		s.Structure.RequireClass(pick())
+	}
+	for i := 0; i < cfg.Required; i++ {
+		s.Structure.RequireRel(pick(), core.Axis(rng.Intn(4)), pick())
+	}
+	for i := 0; i < cfg.Forbidden; i++ {
+		if err := s.Structure.ForbidRel(pick(), core.Axis(rng.Intn(2)), pick()); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+// RandomInstance grows an arbitrary (not necessarily legal) forest over
+// the schema's core classes, for legality-testing experiments that need
+// both legal and violating inputs.
+func RandomInstance(s *core.Schema, rng *rand.Rand, n int) *dirtree.Directory {
+	d := dirtree.New(s.Registry)
+	cores := s.Classes.CoreClasses()
+	var all []*dirtree.Entry
+	for i := 0; i < n; i++ {
+		c := cores[rng.Intn(len(cores))]
+		classes := s.Classes.Superclasses(c)
+		var e *dirtree.Entry
+		var err error
+		if len(all) == 0 || rng.Intn(9) == 0 {
+			e, err = d.AddRoot(fmt.Sprintf("r=%d", i), classes...)
+		} else {
+			e, err = d.AddChild(all[rng.Intn(len(all))], fmt.Sprintf("n=%d", i), classes...)
+		}
+		if err != nil {
+			panic(err)
+		}
+		all = append(all, e)
+	}
+	return d
+}
+
+// CyclicSchema builds the Section 5.1 inconsistent family scaled to k
+// classes: c0⇓ with a required-edge ring c0 →ch c1 →ch … →de c0.
+func CyclicSchema(k int) *core.Schema {
+	s := core.NewSchema()
+	names := make([]string, k)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+		if err := s.Classes.AddCore(names[i], core.ClassTop); err != nil {
+			panic(err)
+		}
+	}
+	s.Structure.RequireClass(names[0])
+	for i := 0; i < k-1; i++ {
+		s.Structure.RequireRel(names[i], core.AxisChild, names[i+1])
+	}
+	s.Structure.RequireRel(names[k-1], core.AxisDesc, names[0])
+	return s
+}
+
+// ContradictorySchema builds the Section 5.2 inconsistent family scaled
+// to k classes: a subclass chain whose leaf both requires and forbids a
+// descendant through the hierarchy.
+func ContradictorySchema(k int) *core.Schema {
+	s := core.NewSchema()
+	prev := core.ClassTop
+	names := make([]string, k)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+		if err := s.Classes.AddCore(names[i], prev); err != nil {
+			panic(err)
+		}
+		prev = names[i]
+	}
+	if err := s.Classes.AddCore("x", core.ClassTop); err != nil {
+		panic(err)
+	}
+	s.Structure.RequireClass("x")
+	s.Structure.RequireRel("x", core.AxisDesc, names[k-1])                      // deepest subclass
+	if err := s.Structure.ForbidRel("x", core.AxisDesc, names[0]); err != nil { // its root superclass
+		panic(err)
+	}
+	return s
+}
+
+// UpdateStream produces n alternating legality-preserving subtree
+// fragments (to insert under the given parent class) for the Figure 5
+// experiments: each fragment is an orgUnit with a person child, so
+// inserting it under any orgGroup of a legal white-pages instance
+// preserves legality.
+func UpdateStream(s *core.Schema, rng *rand.Rand, size int) *dirtree.Directory {
+	frag := dirtree.New(s.Registry)
+	root := mustAdd(frag, nil, fmt.Sprintf("ou=frag%d", rng.Int63()), "orgUnit", "orgGroup", "top")
+	addPerson(frag, root, rng, 0)
+	for i := 2; i < size; i++ {
+		addPerson(frag, root, rng, i)
+	}
+	return frag
+}
