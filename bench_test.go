@@ -62,6 +62,35 @@ func BenchmarkLegalityFull(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckParallel measures the sharded legality engine
+// (internal/core/parallel.go) against the sequential reference on a
+// 50k-entry corpus. workers=1 is the baseline; on a machine with
+// GOMAXPROCS ≥ 4 the workers=4 case should be ≥2x faster. Every
+// parallel run is cross-checked for report byte-identity once before
+// timing.
+func BenchmarkCheckParallel(b *testing.B) {
+	s, d := corpus(b, 50000)
+	seq := core.NewChecker(s)
+	seq.Concurrency = 1
+	ref := seq.Check(d).String()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			checker := core.NewChecker(s)
+			checker.Concurrency = workers
+			if got := checker.Check(d).String(); got != ref {
+				b.Fatal("parallel report diverges from the sequential reference")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !checker.Check(d).Legal() {
+					b.Fatal("corpus must be legal")
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(d.Len()), "ns/entry")
+		})
+	}
+}
+
 func BenchmarkLegalityContentOnly(b *testing.B) {
 	for _, n := range []int{1000, 10000, 100000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {

@@ -24,6 +24,7 @@
 //	e10 Sections 5.1-5.2: the inconsistency taxonomy
 //	e11 ablation: extension rules vs the pairwise reconstruction
 //	e12 Section 7 future work: schema-aided query optimization
+//	e13 parallel legality engine: sequential vs sharded Check
 package main
 
 import (
@@ -32,7 +33,11 @@ import (
 	"os"
 )
 
-var quick = flag.Bool("quick", false, "smaller sweeps")
+var (
+	quick    = flag.Bool("quick", false, "smaller sweeps")
+	parallel = flag.Int("parallel", 0, "extra worker count for e13 (0 = GOMAXPROCS sweep only)")
+	jsonOut  = flag.String("json", "", "write e13 results as JSON to this file")
+)
 
 type experiment struct {
 	id    string
@@ -55,10 +60,11 @@ func main() {
 		{"e10", "Sections 5.1-5.2: inconsistency taxonomy", runE10},
 		{"e11", "Ablation: extension rules vs pairwise reconstruction", runE11},
 		{"e12", "Section 7: schema-aided query optimization", runE12},
+		{"e13", "Parallel legality engine: sequential vs sharded Check", runE13},
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: bsbench [-quick] all | e1 ... e12")
+		fmt.Fprintln(os.Stderr, "usage: bsbench [-quick] all | e1 ... e13")
 		os.Exit(2)
 	}
 	want := make(map[string]bool)

@@ -1,0 +1,103 @@
+package main
+
+// E13 — the parallel legality engine (internal/core/parallel.go):
+// sequential reference Check vs the sharded worker-pool Check at several
+// worker counts, on a large white-pages corpus. The experiment verifies
+// the determinism contract (byte-identical reports) before timing, and
+// optionally records the numbers as JSON (-json BENCH_parallel.json) so
+// later revisions have a perf trajectory to compare against.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+
+	"boundschema/internal/core"
+	"boundschema/internal/workload"
+)
+
+type parallelBenchRow struct {
+	Workers int     `json:"workers"`
+	CheckNs int64   `json:"check_ns"`
+	Speedup float64 `json:"speedup_vs_sequential"`
+}
+
+type parallelBenchResult struct {
+	Experiment       string             `json:"experiment"`
+	Entries          int                `json:"entries"`
+	GOMAXPROCS       int                `json:"gomaxprocs"`
+	ReportsIdentical bool               `json:"reports_identical"`
+	Rows             []parallelBenchRow `json:"rows"`
+}
+
+func runE13() {
+	n := 50000
+	if *quick {
+		n = 8000
+	}
+	s := workload.WhitePagesSchema()
+	s.DeclareKey("mail")
+	d := workload.Corpus(s, rand.New(rand.NewSource(7)), n)
+	d.EnsureEncoded()
+
+	seq := core.NewChecker(s)
+	seq.Concurrency = 1
+	ref := seq.Check(d)
+	base := timeIt(func() { seq.Check(d) })
+
+	res := parallelBenchResult{
+		Experiment:       "e13-parallel-legality",
+		Entries:          d.Len(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		ReportsIdentical: true,
+		Rows: []parallelBenchRow{
+			{Workers: 1, CheckNs: base.Nanoseconds(), Speedup: 1.0},
+		},
+	}
+
+	workerSet := []int{2, 4, runtime.GOMAXPROCS(0)}
+	if *parallel > 1 {
+		workerSet = append(workerSet, *parallel)
+	}
+	fmt.Printf("|D| = %d, GOMAXPROCS = %d, reference verdict legal=%v\n\n",
+		d.Len(), runtime.GOMAXPROCS(0), ref.Legal())
+	fmt.Printf("%9s %14s %10s %10s\n", "workers", "check", "speedup", "identical")
+	fmt.Printf("%9d %14v %9.2fx %10s\n", 1, base, 1.0, "ref")
+	seen := map[int]bool{1: true}
+	for _, w := range workerSet {
+		if w < 2 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		par := core.NewChecker(s)
+		par.Concurrency = w
+		identical := par.Check(d).String() == ref.String()
+		if !identical {
+			res.ReportsIdentical = false
+		}
+		el := timeIt(func() { par.Check(d) })
+		speedup := float64(base) / float64(el)
+		res.Rows = append(res.Rows, parallelBenchRow{Workers: w, CheckNs: el.Nanoseconds(), Speedup: speedup})
+		fmt.Printf("%9d %14v %9.2fx %10v\n", w, el, speedup, identical)
+	}
+	if !res.ReportsIdentical {
+		fmt.Println("!! parallel report diverged from the sequential reference — determinism bug")
+	}
+	fmt.Println("\nshape check: speedup approaches min(workers, GOMAXPROCS) once |D| amortizes the pool.")
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bsbench: %v\n", err)
+			return
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bsbench: %v\n", err)
+			return
+		}
+		fmt.Printf("results written to %s\n", *jsonOut)
+	}
+}

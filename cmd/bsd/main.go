@@ -6,7 +6,7 @@
 // Usage:
 //
 //	bsd -schema wp.bs -instance corpus.ldif [-addr 127.0.0.1:3890]
-//	    [-snapshot out.ldif] [-journal changes.ldif]
+//	    [-snapshot out.ldif] [-journal changes.ldif] [-parallel N]
 //
 // Protocol (line-oriented over TCP; every response ends with OK, ILLEGAL
 // or ERR):
@@ -42,6 +42,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:3890", "listen address")
 	snapshot := flag.String("snapshot", "", "write the instance as LDIF on shutdown")
 	journal := flag.String("journal", "", "replay and append committed transactions to this LDIF change log")
+	parallel := flag.Int("parallel", 0, "CHECK workers (0 = auto, 1 = sequential)")
 	flag.Parse()
 	if *schemaPath == "" {
 		fmt.Fprintln(os.Stderr, "bsd: -schema is required")
@@ -78,6 +79,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	srv.SetConcurrency(*parallel)
 	if *journal != "" {
 		if err := srv.OpenJournal(*journal); err != nil {
 			fatal(err)

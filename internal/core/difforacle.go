@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"boundschema/internal/dirtree"
+)
+
+// Differential-testing oracle: three independent legality engines must
+// agree on every instance.
+//
+//   - the sequential Checker (Concurrency = 1), the reference
+//     implementation of Theorem 3.1;
+//   - the parallel Checker (Concurrency > 1), which must produce a
+//     byte-identical report (see parallel.go);
+//   - the quadratic NaiveStructureCheck (naive.go), which must produce
+//     the same structure verdict and, witness caps aside, the same
+//     violation set.
+//
+// DiffEngines is driven over randomized workload directories by the
+// harness in difforacle_test.go.
+
+// DiffEngines cross-checks the engines on one (schema, instance) pair.
+// concurrency is the parallel checker's worker count (values > 1
+// exercise the parallel merge even on tiny instances); maxWitnesses is
+// applied to both checkers. It returns a descriptive error on the first
+// divergence found, nil when all engines agree.
+func DiffEngines(s *Schema, d *dirtree.Directory, concurrency, maxWitnesses int) error {
+	if concurrency < 2 {
+		return fmt.Errorf("difforacle: concurrency %d does not exercise the parallel engine", concurrency)
+	}
+	seq := NewChecker(s)
+	seq.Concurrency = 1
+	seq.MaxWitnesses = maxWitnesses
+	par := NewChecker(s)
+	par.Concurrency = concurrency
+	par.MaxWitnesses = maxWitnesses
+
+	// Byte-identical full reports.
+	seqReport := seq.Check(d)
+	parReport := par.Check(d)
+	if sr, pr := seqReport.String(), parReport.String(); sr != pr {
+		return fmt.Errorf("difforacle: sequential and parallel reports diverge\n--- sequential ---\n%s\n--- parallel(%d) ---\n%s", sr, concurrency, pr)
+	}
+	if seqReport.Truncated != parReport.Truncated {
+		return fmt.Errorf("difforacle: truncation flags diverge: sequential=%v parallel=%v", seqReport.Truncated, parReport.Truncated)
+	}
+
+	// Legality verdicts: both engines' Legal must match the report.
+	want := seqReport.Legal()
+	if got := seq.Legal(d); got != want {
+		return fmt.Errorf("difforacle: sequential Legal=%v but report says %v", got, want)
+	}
+	if got := par.Legal(d); got != want {
+		return fmt.Errorf("difforacle: parallel Legal=%v but report says %v", got, want)
+	}
+
+	// Naive quadratic structure oracle: identical verdict always, and an
+	// identical sorted violation set when no witness cap interferes.
+	naive := NaiveStructureCheck(s, d)
+	structSeq := seq.CheckStructure(d)
+	if naive.Legal() != structSeq.Legal() {
+		return fmt.Errorf("difforacle: naive structure verdict %v != query-based %v", naive.Legal(), structSeq.Legal())
+	}
+	if maxWitnesses == 0 {
+		ns, qs := sortedViolationStrings(naive), sortedViolationStrings(structSeq)
+		if len(ns) != len(qs) {
+			return fmt.Errorf("difforacle: naive found %d structure violations, query-based %d", len(ns), len(qs))
+		}
+		for i := range ns {
+			if ns[i] != qs[i] {
+				return fmt.Errorf("difforacle: structure violation sets diverge at #%d:\nnaive:       %s\nquery-based: %s", i, ns[i], qs[i])
+			}
+		}
+	}
+	return nil
+}
+
+// sortedViolationStrings renders a report's violations sorted by their
+// string form — the stable key the engines are compared under.
+func sortedViolationStrings(r *Report) []string {
+	out := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		out[i] = v.String()
+	}
+	sort.Strings(out)
+	return out
+}

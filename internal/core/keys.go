@@ -38,12 +38,18 @@ func (s *Schema) IsKey(attr string) bool {
 }
 
 // CheckKeys verifies instance-wide uniqueness of every key attribute's
-// values, one hash pass over the instance.
+// values, one hash pass over the instance. In parallel mode the value
+// extraction is sharded across workers; the uniqueness pass over the
+// extracted streams stays sequential so the first holder of every value —
+// and therefore the report — is identical to the sequential pass.
 func (c *Checker) CheckKeys(d *dirtree.Directory) *Report {
 	r := &Report{}
 	keys := c.schema.Keys()
 	if len(keys) == 0 {
 		return r
+	}
+	if w := c.workersFor(d.Len()); w > 1 {
+		return c.checkKeysParallel(d, w)
 	}
 	seen := make(map[keyVal]*dirtree.Entry)
 	for _, e := range d.Entries() {

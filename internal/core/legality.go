@@ -16,6 +16,15 @@ type Checker struct {
 	// element / per entry condition; 0 means unlimited. Legality verdicts
 	// are unaffected — only report size.
 	MaxWitnesses int
+	// Concurrency selects the execution mode: 1 runs the sequential
+	// reference implementation, values > 1 shard the per-entry content and
+	// key checks across that many workers and evaluate the per-element
+	// structure queries concurrently, and 0 (the default) picks
+	// GOMAXPROCS workers automatically for instances large enough to
+	// amortize the fan-out (see autoParallelMin). Parallel and sequential
+	// runs produce byte-identical reports; see parallel.go for the merge
+	// contract.
+	Concurrency int
 }
 
 // NewChecker returns a checker for the schema.
@@ -35,8 +44,12 @@ func (c *Checker) Check(d *dirtree.Directory) *Report {
 }
 
 // Legal reports whether d is legal w.r.t. the schema, short-circuiting on
-// the first violation.
+// the first violation. In parallel mode the short-circuit is cooperative:
+// the first worker to find a violation cancels the others.
 func (c *Checker) Legal(d *dirtree.Directory) bool {
+	if w := c.workersFor(d.Len()); w > 1 {
+		return c.legalParallel(d, w)
+	}
 	for _, e := range d.Entries() {
 		if !c.EntryLegal(e) {
 			return false
@@ -69,6 +82,9 @@ func (c *Checker) Legal(d *dirtree.Directory) bool {
 
 // CheckContent tests every entry against the attribute and class schemas.
 func (c *Checker) CheckContent(d *dirtree.Directory) *Report {
+	if w := c.workersFor(d.Len()); w > 1 {
+		return c.checkContentParallel(d, w)
+	}
 	r := &Report{}
 	for _, e := range d.Entries() {
 		c.checkEntry(e, r)
@@ -223,8 +239,11 @@ func (c *Checker) checkEntry(e *dirtree.Entry, r *Report) {
 
 // CheckStructure tests the structure schema using the Figure 4 reduction:
 // one hierarchical selection query per element, each evaluated in
-// O(|Q|·|D|).
+// O(|Q|·|D|). In parallel mode the per-element queries run concurrently.
 func (c *Checker) CheckStructure(d *dirtree.Directory) *Report {
+	if w := c.workersFor(d.Len()); w > 1 {
+		return c.checkStructureParallel(d, w)
+	}
 	return c.checkStructureOn(hquery.NewBinding(d))
 }
 

@@ -240,6 +240,14 @@ func (d *Directory) EnsureEncoded() {
 	d.encodedEpoch = d.epoch
 }
 
+// Encoded reports whether the interval encoding is current, i.e. no
+// mutation happened since the last EnsureEncoded. While Encoded is true,
+// every read path (Entries, ClassEntries, views, queries) is free of
+// internal mutation and therefore safe for concurrent use from multiple
+// goroutines; any mutation invalidates that guarantee until EnsureEncoded
+// runs again, single-threaded.
+func (d *Directory) Encoded() bool { return d.encodedEpoch == d.epoch }
+
 // Entries returns all entries in pre-order. The returned slice is owned by
 // the directory and is valid until the next mutation.
 func (d *Directory) Entries() []*Entry {

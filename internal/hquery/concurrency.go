@@ -1,0 +1,39 @@
+package hquery
+
+import "fmt"
+
+// Concurrency contract
+//
+// A Binding is a small immutable value, and query evaluation never writes
+// to it, so one Binding may be shared by any number of goroutines — with
+// one caveat. Eval lazily (re)computes the underlying directory's
+// interval encoding via EnsureEncoded, which mutates the directory the
+// first time it runs after a mutation. Concurrent Evals against a stale
+// encoding therefore race on that internal state.
+//
+// The rule is: bring the encoding current, single-threaded, before
+// fanning out (dirtree.Directory.EnsureEncoded), and do not mutate any
+// bound directory while evaluations are in flight. Once the encoding is
+// current, Eval's EnsureEncoded call is a pure epoch comparison and every
+// evaluation path is read-only. AuditReadOnly checks the precondition.
+
+// AuditReadOnly reports whether concurrent query evaluation against the
+// binding would be free of internal directory mutation: every bound
+// view's directory must exist and have a current interval encoding. A nil
+// return means Eval is read-only for this binding until the next
+// directory mutation.
+func AuditReadOnly(b Binding) error {
+	for _, tag := range [...]struct {
+		name string
+		inst Inst
+	}{{"default", InstDefault}, {"delta", InstDelta}, {"base", InstBase}, {"full", InstFull}} {
+		d := b.view(tag.inst).Directory()
+		if d == nil {
+			return fmt.Errorf("hquery: binding's %s view is unbound", tag.name)
+		}
+		if !d.Encoded() {
+			return fmt.Errorf("hquery: binding's %s view has a stale interval encoding; call EnsureEncoded before concurrent evaluation", tag.name)
+		}
+	}
+	return nil
+}

@@ -1,6 +1,11 @@
 package schemadsl
 
-import "testing"
+import (
+	"testing"
+
+	"boundschema/internal/core"
+	"boundschema/internal/dirtree"
+)
 
 // FuzzParse checks that the schema DSL parser never panics and that
 // accepted schemas survive a Format/Parse round trip with identical
@@ -39,6 +44,46 @@ func FuzzParse(f *testing.F) {
 		}
 		if Format(s2, name2) != text {
 			t.Fatalf("canonical form unstable")
+		}
+	})
+}
+
+// FuzzParseSchema stresses the parser → legality-engine pipeline: any
+// schema the parser accepts must enumerate its elements and drive both
+// the sequential and the parallel checker to byte-identical reports on
+// an empty directory (where required-class and required-relationship
+// elements already fire) without panicking.
+func FuzzParseSchema(f *testing.F) {
+	seeds := []string{
+		whitePagesSrc,
+		"schema x { class a extends top { } require class a }",
+		"schema x { class a extends top { } class b extends a { } require a descendant b forbid b child a }",
+		"schema x { attribute k: string class a extends top { requires k } key k require class a }",
+		"schema x { auxclass m { } class a extends top { aux m } require a parent a }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 2048 {
+			return
+		}
+		s, _, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, el := range s.Elements() {
+			if el.ElementString() == "" {
+				t.Fatal("element renders empty")
+			}
+		}
+		d := dirtree.New(s.Registry)
+		seq := core.NewChecker(s)
+		seq.Concurrency = 1
+		par := core.NewChecker(s)
+		par.Concurrency = 4
+		if sr, pr := seq.Check(d).String(), par.Check(d).String(); sr != pr {
+			t.Fatalf("sequential and parallel reports diverge on the empty instance\n--- sequential ---\n%s\n--- parallel ---\n%s", sr, pr)
 		}
 	})
 }

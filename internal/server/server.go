@@ -46,7 +46,12 @@ type Server struct {
 	applier *txn.Applier
 	checker *core.Checker
 
-	mu  sync.RWMutex // guards dir
+	// mu guards dir. Writers (COMMIT, journal replay) mutate under the
+	// write lock and must leave the interval encoding current before
+	// unlocking, so reader sessions under the read lock never trigger the
+	// lazy re-encode — the read paths are only concurrency-safe while
+	// dirtree's Directory.Encoded() holds.
+	mu  sync.RWMutex
 	dir *dirtree.Directory
 
 	ln     net.Listener
@@ -77,6 +82,11 @@ func New(schema *core.Schema, name string, dir *dirtree.Directory) (*Server, err
 	}, nil
 }
 
+// SetConcurrency selects the legality checker's worker count for CHECK
+// (see core.Checker.Concurrency: 0 = GOMAXPROCS auto, 1 = sequential).
+// Call it before Listen; the checker is shared by all sessions.
+func (s *Server) SetConcurrency(n int) { s.checker.Concurrency = n }
+
 // OpenJournal replays any committed transactions recorded in path, then
 // appends every future successful COMMIT to it as LDIF change records,
 // so a restart with the same snapshot and journal reproduces the state.
@@ -96,6 +106,7 @@ func (s *Server) OpenJournal(path string) error {
 			}
 			s.mu.Lock()
 			report, aerr := s.applier.Apply(s.dir, tx)
+			s.dir.EnsureEncoded() // keep readers free of the lazy re-encode
 			s.mu.Unlock()
 			if aerr != nil {
 				return fmt.Errorf("server: journal %s replay: %v", path, aerr)
@@ -337,6 +348,11 @@ func (se *session) commit() {
 	se.abort()
 	se.srv.mu.Lock()
 	report, err := se.srv.applier.Apply(se.srv.dir, tx)
+	// Re-encode before releasing the write lock: reader sessions (CHECK,
+	// SEARCH, QUERY) run under the read lock and rely on the encoding
+	// being current, so the lazy re-encode must never fire concurrently
+	// under RLock (dirtree.Directory is read-only while Encoded).
+	se.srv.dir.EnsureEncoded()
 	if err == nil && report.Legal() && se.srv.journal != nil {
 		if jerr := tx.WriteChanges(se.srv.journal); jerr == nil {
 			jerr = se.srv.journal.Sync()

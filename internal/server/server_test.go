@@ -2,8 +2,11 @@ package server
 
 import (
 	"bufio"
+	"fmt"
+	"math/rand"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 
 	"boundschema/internal/core"
@@ -390,5 +393,143 @@ func TestServerSearchWithSpacesInFilter(t *testing.T) {
 	c.send("SEARCH name=noparens")
 	if _, term := c.until(); !strings.HasPrefix(term, "ERR ") {
 		t.Errorf("unparenthesized filter accepted: %q", term)
+	}
+}
+
+// TestServerConcurrentCheckCommit is the mutation-under-check regression
+// test: CHECK sessions (read-locked, running the parallel checker) race
+// COMMIT sessions (write-locked mutation plus re-encode). Under -race it
+// enforces the contract that the directory is read-only during checking —
+// in particular that COMMIT leaves the interval encoding current, so no
+// reader ever triggers the lazy re-encode under the read lock.
+func TestServerConcurrentCheckCommit(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	d := workload.Corpus(s, rand.New(rand.NewSource(3)), 2000)
+	srv, err := New(s, "whitepages", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetConcurrency(4)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	// roundTrip sends the lines and reads one response, returning its
+	// terminator (OK / ILLEGAL / ERR ...).
+	roundTrip := func(conn net.Conn, r *bufio.Reader, lines ...string) (string, error) {
+		for _, l := range lines {
+			if _, err := conn.Write([]byte(l + "\n")); err != nil {
+				return "", err
+			}
+		}
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return "", err
+			}
+			line = strings.TrimRight(line, "\n")
+			if line == "OK" || line == "ILLEGAL" || strings.HasPrefix(line, "ERR ") {
+				return line, nil
+			}
+		}
+	}
+
+	const rounds = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+
+	// Three reader sessions hammering CHECK (and a SEARCH for variety).
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for k := 0; k < rounds; k++ {
+				term, err := roundTrip(conn, r, "CHECK")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if term != "OK" {
+					errs <- fmt.Errorf("CHECK on a server-maintained instance returned %q", term)
+					return
+				}
+				if _, err := roundTrip(conn, r, "SEARCH (objectClass=orgUnit)"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+
+	// Two writer sessions committing legal insert+delete pairs.
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for k := 0; k < rounds; k++ {
+				unit := fmt.Sprintf("ou=race%d-%d,o=org0", i, k)
+				if term, err := roundTrip(conn, r, "BEGIN"); err != nil || term != "OK" {
+					errs <- fmt.Errorf("BEGIN: %q %v", term, err)
+					return
+				}
+				term, err := roundTrip(conn, r,
+					"ADD "+unit,
+					"objectClass: orgUnit",
+					"objectClass: orgGroup",
+					"objectClass: top",
+					"ADD uid=racep,"+unit,
+					"objectClass: person",
+					"objectClass: top",
+					"name: race person",
+					"COMMIT",
+				)
+				if err != nil || term != "OK" {
+					errs <- fmt.Errorf("COMMIT add: %q %v", term, err)
+					return
+				}
+				if term, err := roundTrip(conn, r, "BEGIN"); err != nil || term != "OK" {
+					errs <- fmt.Errorf("BEGIN delete: %q %v", term, err)
+					return
+				}
+				if term, err := roundTrip(conn, r, "DELETE uid=racep,"+unit, "DELETE "+unit, "COMMIT"); err != nil || term != "OK" {
+					errs <- fmt.Errorf("COMMIT delete: %q %v", term, err)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The writers cleaned up after themselves; the instance must be back
+	// to its initial size and legal.
+	srv.mu.RLock()
+	defer srv.mu.RUnlock()
+	if srv.dir.Len() != 2000 {
+		t.Errorf("entries after racing commits: %d, want 2000", srv.dir.Len())
+	}
+	if r := core.NewChecker(s).Check(srv.dir); !r.Legal() {
+		t.Errorf("instance illegal after racing commits:\n%s", r)
 	}
 }
