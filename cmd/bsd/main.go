@@ -7,6 +7,8 @@
 //
 //	bsd -schema wp.bs -instance corpus.ldif [-addr 127.0.0.1:3890]
 //	    [-snapshot out.ldif] [-journal changes.ldif] [-parallel N]
+//	    [-read-timeout 0] [-idle-timeout 0] [-max-conns 0]
+//	    [-drain-timeout 1s] [-journal-rotate 0] [-metrics-addr host:port]
 //
 // Protocol (line-oriented over TCP; every response ends with OK, ILLEGAL
 // or ERR):
@@ -21,16 +23,20 @@
 //	name: New Person
 //	DELETE uid=old,ou=eng,o=corp
 //	COMMIT
-//	CHECK | CONSISTENT | SCHEMA | STAT | QUIT
+//	CHECK | CONSISTENT | SCHEMA | STAT | METRICS | SNAPSHOT | QUIT
 package main
 
 import (
 	"bufio"
+	"expvar"
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"boundschema"
 	"boundschema/internal/server"
@@ -43,6 +49,12 @@ func main() {
 	snapshot := flag.String("snapshot", "", "write the instance as LDIF on shutdown")
 	journal := flag.String("journal", "", "replay and append committed transactions to this LDIF change log")
 	parallel := flag.Int("parallel", 0, "CHECK workers (0 = auto, 1 = sequential)")
+	readTimeout := flag.Duration("read-timeout", 0, "per-read deadline on client connections (0 = off)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "cut sessions idle between commands for this long (0 = off)")
+	maxConns := flag.Int("max-conns", 0, "max concurrent sessions; further accepts queue (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", time.Second, "grace given to live sessions on shutdown")
+	journalRotate := flag.Int64("journal-rotate", 0, "compact the journal into a snapshot once it exceeds this many bytes (0 = never)")
+	metricsAddr := flag.String("metrics-addr", "", "serve expvar metrics over HTTP on this address (empty = off)")
 	flag.Parse()
 	if *schemaPath == "" {
 		fmt.Fprintln(os.Stderr, "bsd: -schema is required")
@@ -80,6 +92,14 @@ func main() {
 		fatal(err)
 	}
 	srv.SetConcurrency(*parallel)
+	srv.SetErrorLog(log.New(os.Stderr, "bsd: ", log.LstdFlags))
+	srv.SetLimits(server.Limits{
+		ReadTimeout:  *readTimeout,
+		IdleTimeout:  *idleTimeout,
+		MaxConns:     *maxConns,
+		DrainTimeout: *drainTimeout,
+	})
+	srv.SetJournalRotation(*journalRotate)
 	if *journal != "" {
 		if err := srv.OpenJournal(*journal); err != nil {
 			fatal(err)
@@ -88,6 +108,15 @@ func main() {
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal(err)
+	}
+	if *metricsAddr != "" {
+		expvar.Publish("bsd", expvar.Func(func() any { return srv.MetricsSnapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "bsd: metrics endpoint: %v\n", err)
+			}
+		}()
+		fmt.Printf("bsd: metrics at http://%s/debug/vars\n", *metricsAddr)
 	}
 	fmt.Printf("bsd: serving schema %s (%d entries) on %s\n", name, dir.Len(), bound)
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"boundschema/internal/dirtree"
 	"boundschema/internal/hquery"
@@ -25,6 +26,38 @@ type Checker struct {
 	// runs produce byte-identical reports; see parallel.go for the merge
 	// contract.
 	Concurrency int
+	// OnTiming, when non-nil, is called after every top-level Check and
+	// Legal with the execution profile — which path the Concurrency knob
+	// resolved to and the wall time. It must be safe for concurrent use;
+	// the server's metrics layer hooks in here.
+	OnTiming func(CheckTiming)
+}
+
+// CheckTiming describes one top-level Check or Legal invocation.
+type CheckTiming struct {
+	Parallel bool          // whether the sharded path was taken
+	Workers  int           // resolved worker count (1 = sequential)
+	Entries  int           // instance size at check time
+	Legal    bool          // the verdict
+	Duration time.Duration // wall time of the whole check
+}
+
+// timed wraps a legality verdict computation with the OnTiming hook.
+func (c *Checker) timed(n int, f func() bool) bool {
+	if c.OnTiming == nil {
+		return f()
+	}
+	start := time.Now()
+	legal := f()
+	w := c.workersFor(n)
+	c.OnTiming(CheckTiming{
+		Parallel: w > 1,
+		Workers:  w,
+		Entries:  n,
+		Legal:    legal,
+		Duration: time.Since(start),
+	})
+	return legal
 }
 
 // NewChecker returns a checker for the schema.
@@ -37,9 +70,13 @@ func (c *Checker) Schema() *Schema { return c.schema }
 // entry, then structure schema via the Figure 4 query reduction. The
 // returned report is never nil.
 func (c *Checker) Check(d *dirtree.Directory) *Report {
-	r := c.CheckContent(d)
-	r.Merge(c.CheckKeys(d))
-	r.Merge(c.CheckStructure(d))
+	var r *Report
+	c.timed(d.Len(), func() bool {
+		r = c.CheckContent(d)
+		r.Merge(c.CheckKeys(d))
+		r.Merge(c.CheckStructure(d))
+		return r.Legal()
+	})
 	return r
 }
 
@@ -47,6 +84,10 @@ func (c *Checker) Check(d *dirtree.Directory) *Report {
 // the first violation. In parallel mode the short-circuit is cooperative:
 // the first worker to find a violation cancels the others.
 func (c *Checker) Legal(d *dirtree.Directory) bool {
+	return c.timed(d.Len(), func() bool { return c.legal(d) })
+}
+
+func (c *Checker) legal(d *dirtree.Directory) bool {
 	if w := c.workersFor(d.Len()); w > 1 {
 		return c.legalParallel(d, w)
 	}

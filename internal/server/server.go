@@ -13,22 +13,32 @@
 //	CONSISTENT                      schema consistency verdict
 //	SCHEMA                          the schema in the definition language
 //	STAT                            entry and class counts
+//	METRICS                         counters, latency histograms, gauges
+//	SNAPSHOT                        force journal compaction
 //	QUIT
 //
 // Every response is terminated by a line reading "OK", "ILLEGAL" or
 // "ERR <message>". Transactions are applied atomically with the Figure 5
 // incremental checks; a violating COMMIT leaves the directory unchanged
 // and reports the violations.
+//
+// Durability: when a journal is configured, OK after COMMIT means the
+// transaction was applied AND recorded in the journal (write + fsync). A
+// failed journal write rolls the directory back and replies ERR; see
+// journal.go for the read-only degradation and rotation rules.
 package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
-	"os"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"boundschema/internal/core"
 	"boundschema/internal/dirtree"
@@ -39,6 +49,32 @@ import (
 	"boundschema/internal/txn"
 )
 
+// maxLineBytes caps one protocol line; longer lines fail the session with
+// "ERR line too long" instead of silently dropping it.
+const maxLineBytes = 1024 * 1024
+
+// maxAcceptBackoff caps the exponential backoff acceptLoop applies after
+// transient Accept errors (e.g. EMFILE), mirroring net/http.Server.Serve.
+const maxAcceptBackoff = time.Second
+
+// Limits configures the connection lifecycle. The zero value means "no
+// limits" (and a 1 s default drain on Close). Set before Listen.
+type Limits struct {
+	// ReadTimeout bounds a single read syscall, guarding against peers
+	// that trickle bytes forever without completing a line. 0 = none.
+	ReadTimeout time.Duration
+	// IdleTimeout bounds the wait for the next protocol line; an idle
+	// session is cut with "ERR idle timeout". 0 = none.
+	IdleTimeout time.Duration
+	// MaxConns caps concurrently served sessions. When at capacity the
+	// accept loop blocks (backpressure: further clients queue in the
+	// listen backlog) instead of spawning unbounded sessions. 0 = no cap.
+	MaxConns int
+	// DrainTimeout is the grace Close gives in-flight sessions before
+	// force-closing their connections. 0 = 1 s default.
+	DrainTimeout time.Duration
+}
+
 // Server serves one directory instance guarded by one bounding-schema.
 type Server struct {
 	schema  *core.Schema
@@ -46,19 +82,30 @@ type Server struct {
 	applier *txn.Applier
 	checker *core.Checker
 
-	// mu guards dir. Writers (COMMIT, journal replay) mutate under the
-	// write lock and must leave the interval encoding current before
-	// unlocking, so reader sessions under the read lock never trigger the
-	// lazy re-encode — the read paths are only concurrency-safe while
-	// dirtree's Directory.Encoded() holds.
+	// mu guards dir, journal state and readOnly. Writers (COMMIT, journal
+	// replay) mutate under the write lock and must leave the interval
+	// encoding current before unlocking, so reader sessions under the read
+	// lock never trigger the lazy re-encode — the read paths are only
+	// concurrency-safe while dirtree's Directory.Encoded() holds.
 	mu  sync.RWMutex
 	dir *dirtree.Directory
 
-	ln     net.Listener
-	wg     sync.WaitGroup
-	closed chan struct{}
+	ln        net.Listener
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
 
-	journal *os.File // nil when journaling is off
+	limits  Limits
+	sem     chan struct{} // MaxConns slots; nil when uncapped
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{}
+
+	metrics  *Metrics
+	errorLog *log.Logger
+
+	journal     *journal // nil when journaling is off
+	rotateBytes int64    // journal rotation threshold; 0 = never
+	readOnly    string   // non-empty reason = refuse COMMIT/SNAPSHOT
 }
 
 // New creates a server over the given schema and initial instance. The
@@ -72,14 +119,18 @@ func New(schema *core.Schema, name string, dir *dirtree.Directory) (*Server, err
 	applier := txn.NewApplier(schema)
 	applier.Counts = txn.NewCountIndex(dir)
 	applier.NarrowDeletes = true
-	return &Server{
+	s := &Server{
 		schema:  schema,
 		name:    name,
 		applier: applier,
 		checker: checker,
 		dir:     dir,
 		closed:  make(chan struct{}),
-	}, nil
+		conns:   make(map[net.Conn]struct{}),
+		metrics: newMetrics(),
+	}
+	checker.OnTiming = s.metrics.noteCheckTiming
+	return s, nil
 }
 
 // SetConcurrency selects the legality checker's worker count for CHECK
@@ -87,43 +138,46 @@ func New(schema *core.Schema, name string, dir *dirtree.Directory) (*Server, err
 // Call it before Listen; the checker is shared by all sessions.
 func (s *Server) SetConcurrency(n int) { s.checker.Concurrency = n }
 
-// OpenJournal replays any committed transactions recorded in path, then
-// appends every future successful COMMIT to it as LDIF change records,
-// so a restart with the same snapshot and journal reproduces the state.
-func (s *Server) OpenJournal(path string) error {
-	if f, err := os.Open(path); err == nil {
-		recs, rerr := ldif.NewReader(f).ReadAll()
-		f.Close()
-		if rerr != nil {
-			return fmt.Errorf("server: journal %s: %v", path, rerr)
-		}
-		// Each record was committed individually; replay one at a time
-		// so a partial trailing transaction cannot poison the rest.
-		for _, rec := range recs {
-			tx, terr := txn.FromRecords([]*ldif.Record{rec}, s.schema.Registry)
-			if terr != nil {
-				return fmt.Errorf("server: journal %s: %v", path, terr)
-			}
-			s.mu.Lock()
-			report, aerr := s.applier.Apply(s.dir, tx)
-			s.dir.EnsureEncoded() // keep readers free of the lazy re-encode
-			s.mu.Unlock()
-			if aerr != nil {
-				return fmt.Errorf("server: journal %s replay: %v", path, aerr)
-			}
-			if !report.Legal() {
-				return fmt.Errorf("server: journal %s replay rejected:\n%s", path, report)
-			}
-		}
-	} else if !os.IsNotExist(err) {
-		return err
+// SetLimits installs the connection lifecycle limits. Call before Listen.
+func (s *Server) SetLimits(l Limits) {
+	s.limits = l
+	if l.MaxConns > 0 {
+		s.sem = make(chan struct{}, l.MaxConns)
+	} else {
+		s.sem = nil
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
+}
+
+// SetErrorLog installs a logger for operational events (accept retries,
+// session read errors, journal degradation). nil (the default) discards.
+func (s *Server) SetErrorLog(l *log.Logger) { s.errorLog = l }
+
+// SetJournalRotation sets the journal size threshold in bytes beyond
+// which a successful COMMIT triggers compaction (snapshot + truncate; see
+// journal.go). 0 disables rotation. Call before OpenJournal.
+func (s *Server) SetJournalRotation(bytes int64) { s.rotateBytes = bytes }
+
+// MetricsSnapshot returns a JSON-marshalable snapshot of the server's
+// metrics, shaped for expvar.Publish(expvar.Func(srv.MetricsSnapshot)).
+func (s *Server) MetricsSnapshot() any {
+	s.mu.RLock()
+	journalOn := s.journal != nil
+	readOnly := s.readOnly
+	s.mu.RUnlock()
+	return s.metrics.snapshot(journalOn, readOnly)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.errorLog != nil {
+		s.errorLog.Printf(format, args...)
 	}
-	s.journal = f
-	return nil
+}
+
+func (s *Server) drainTimeout() time.Duration {
+	if s.limits.DrainTimeout > 0 {
+		return s.limits.DrainTimeout
+	}
+	return time.Second
 }
 
 // Listen starts accepting connections on addr ("127.0.0.1:0" picks a
@@ -139,24 +193,63 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and waits for in-flight connections.
+// Close stops the listener and drains in-flight sessions: each gets up to
+// DrainTimeout to finish its current line, then remaining connections are
+// force-closed. Always returns within roughly DrainTimeout.
 func (s *Server) Close() error {
-	close(s.closed)
+	s.closeOnce.Do(func() { close(s.closed) })
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
-	s.wg.Wait()
-	if s.journal != nil {
-		if jerr := s.journal.Close(); err == nil {
+	drain := s.drainTimeout()
+	deadline := time.Now().Add(drain)
+	s.connsMu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(deadline)
+	}
+	s.connsMu.Unlock()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(drain + 100*time.Millisecond):
+		// Backstop for sessions that re-armed their own deadline in the
+		// race with the loop above: closing the conn unblocks any read.
+		s.connsMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connsMu.Unlock()
+		<-done
+	}
+	s.mu.Lock()
+	j := s.journal
+	s.mu.Unlock()
+	if j != nil {
+		if jerr := j.f.Close(); err == nil {
 			err = jerr
 		}
 	}
 	return err
 }
 
+// nextAcceptDelay implements capped exponential backoff for transient
+// Accept errors, as in net/http.Server.Serve: 5ms doubling up to 1s.
+func nextAcceptDelay(d time.Duration) time.Duration {
+	if d == 0 {
+		return 5 * time.Millisecond
+	}
+	d *= 2
+	if d > maxAcceptBackoff {
+		d = maxAcceptBackoff
+	}
+	return d
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	var delay time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -164,22 +257,100 @@ func (s *Server) acceptLoop() {
 			case <-s.closed:
 				return
 			default:
-				continue
+			}
+			// Transient failure (e.g. EMFILE): back off instead of
+			// busy-looping on a hot error.
+			delay = nextAcceptDelay(delay)
+			s.metrics.AcceptRetries.Add(1)
+			s.logf("server: accept: %v; retrying in %v", err, delay)
+			select {
+			case <-time.After(delay):
+			case <-s.closed:
+				return
+			}
+			continue
+		}
+		delay = 0
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+			default:
+				// At MaxConns: hold this accepted conn until a session
+				// ends. Further clients queue in the kernel backlog — the
+				// limit backpressures instead of shedding.
+				s.metrics.ConnsThrottled.Add(1)
+				select {
+				case s.sem <- struct{}{}:
+				case <-s.closed:
+					conn.Close()
+					return
+				}
 			}
 		}
+		s.metrics.ConnsTotal.Add(1)
+		s.metrics.ConnsActive.Add(1)
+		s.connsMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connsMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				s.connsMu.Lock()
+				delete(s.conns, conn)
+				s.connsMu.Unlock()
+				conn.Close()
+				s.metrics.ConnsActive.Add(-1)
+				if s.sem != nil {
+					<-s.sem
+				}
+			}()
 			s.serve(conn)
 		}()
 	}
+}
+
+// deadlineConn arms the configured read deadlines around every Read:
+// ReadTimeout bounds the single syscall, lineBy (set per line by the
+// serve loop) is the idle deadline, and a closing server imposes the
+// drain deadline. Only the session goroutine touches lineBy/armed.
+type deadlineConn struct {
+	net.Conn
+	srv    *Server
+	lineBy time.Time
+	armed  bool
+}
+
+func (c *deadlineConn) Read(p []byte) (int, error) {
+	var dl time.Time
+	if rt := c.srv.limits.ReadTimeout; rt > 0 {
+		dl = time.Now().Add(rt)
+	}
+	if !c.lineBy.IsZero() && (dl.IsZero() || c.lineBy.Before(dl)) {
+		dl = c.lineBy
+	}
+	select {
+	case <-c.srv.closed:
+		if d := time.Now().Add(c.srv.drainTimeout()); dl.IsZero() || d.Before(dl) {
+			dl = d
+		}
+	default:
+	}
+	if !dl.IsZero() || c.armed {
+		c.Conn.SetReadDeadline(dl)
+		c.armed = !dl.IsZero()
+	}
+	return c.Conn.Read(p)
 }
 
 type session struct {
 	srv *Server
 	w   *bufio.Writer
 	tx  *txn.Transaction // non-nil inside BEGIN..COMMIT
+	// cmd and term record the command label and terminator of the line
+	// being handled, for the metrics layer.
+	cmd  string
+	term string
 	// pending is the entry currently being assembled by ADD lines.
 	pendingDN      string
 	pendingClasses []string
@@ -187,17 +358,69 @@ type session struct {
 }
 
 func (s *Server) serve(conn net.Conn) {
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	dc := &deadlineConn{Conn: conn, srv: s}
+	sc := bufio.NewScanner(dc)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
 	sess := &session{srv: s, w: bufio.NewWriter(conn)}
-	for sc.Scan() {
-		line := strings.TrimRight(sc.Text(), "\r")
-		if quit := sess.handle(line); quit {
+	defer sess.abort() // releases the tx gauge if the session dies mid-transaction
+	for {
+		select {
+		case <-s.closed:
+			sess.err("server shutting down")
+			sess.w.Flush()
+			return
+		default:
+		}
+		if it := s.limits.IdleTimeout; it > 0 {
+			dc.lineBy = time.Now().Add(it)
+		}
+		if !sc.Scan() {
 			break
 		}
+		line := strings.TrimRight(sc.Text(), "\r")
+		start := time.Now()
+		sess.cmd, sess.term = "", ""
+		quit := sess.handle(line)
+		if sess.cmd != "" {
+			s.metrics.observeCommand(sess.cmd, time.Since(start), sess.term == "ERR")
+		}
 		sess.w.Flush()
+		if quit {
+			return
+		}
+	}
+	// The scan stopped without a QUIT: report why instead of vanishing.
+	switch err := sc.Err(); {
+	case err == nil:
+		// clean EOF — the client went away
+	case errors.Is(err, bufio.ErrTooLong):
+		s.metrics.LinesTooLong.Add(1)
+		sess.err(fmt.Sprintf("line too long (max %d bytes)", maxLineBytes))
+		sess.w.Flush()
+		// Linger briefly to drain the rest of the oversized line, so the
+		// error reply is not destroyed by a TCP reset carrying unread data
+		// (the same trick net/http uses for unread request bodies).
+		conn.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+		io.Copy(io.Discard, conn)
+	case isTimeout(err):
+		select {
+		case <-s.closed:
+			// drain deadline during shutdown, not a client fault
+			sess.err("server shutting down")
+		default:
+			s.metrics.IdleTimeouts.Add(1)
+			sess.err("idle timeout")
+		}
+	default:
+		s.metrics.ScanErrors.Add(1)
+		s.logf("server: session %s: read: %v", conn.RemoteAddr(), err)
 	}
 	sess.w.Flush()
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 func (se *session) reply(lines ...string) {
@@ -207,9 +430,18 @@ func (se *session) reply(lines ...string) {
 	}
 }
 
-func (se *session) ok()            { se.reply("OK") }
-func (se *session) err(msg string) { se.reply("ERR " + strings.ReplaceAll(msg, "\n", " | ")) }
+func (se *session) ok() {
+	se.term = "OK"
+	se.reply("OK")
+}
+
+func (se *session) err(msg string) {
+	se.term = "ERR"
+	se.reply("ERR " + strings.ReplaceAll(msg, "\n", " | "))
+}
+
 func (se *session) illegal(r *core.Report) {
+	se.term = "ILLEGAL"
 	for _, v := range r.Violations {
 		se.reply("# " + v.String())
 	}
@@ -223,6 +455,7 @@ func (se *session) handle(line string) bool {
 		return se.handleTx(trimmed)
 	}
 	cmd, rest := splitCommand(trimmed)
+	se.cmd = cmd
 	switch cmd {
 	case "":
 		// ignore blank lines between commands
@@ -237,6 +470,7 @@ func (se *session) handle(line string) bool {
 		se.get(rest)
 	case "BEGIN":
 		se.tx = &txn.Transaction{}
+		se.srv.metrics.TxActive.Add(1)
 		se.ok()
 	case "CHECK":
 		se.check()
@@ -247,7 +481,12 @@ func (se *session) handle(line string) bool {
 		se.ok()
 	case "STAT":
 		se.stat()
+	case "METRICS":
+		se.metricsCmd()
+	case "SNAPSHOT":
+		se.snapshotCmd()
 	default:
+		se.cmd = "UNKNOWN"
 		se.err(fmt.Sprintf("unknown command %q", cmd))
 	}
 	return false
@@ -258,11 +497,8 @@ func (se *session) handleTx(line string) bool {
 	cmd, rest := splitCommand(line)
 	switch cmd {
 	case "ADD":
-		if err := se.flushPending(); err != nil {
-			se.err(err.Error())
-			se.abort()
-			return false
-		}
+		se.cmd = cmd
+		se.flushPending()
 		dn := strings.TrimSpace(rest)
 		if dn == "" {
 			se.err("ADD needs a DN")
@@ -273,28 +509,20 @@ func (se *session) handleTx(line string) bool {
 		se.pendingClasses = nil
 		se.pendingAttrs = make(map[string][]dirtree.Value)
 	case "DELETE":
-		if err := se.flushPending(); err != nil {
-			se.err(err.Error())
-			se.abort()
-			return false
-		}
+		se.cmd = cmd
+		se.flushPending()
 		se.tx.Delete(strings.TrimSpace(rest))
 	case "MOVE":
-		if err := se.flushPending(); err != nil {
-			se.err(err.Error())
-			se.abort()
-			return false
-		}
+		se.cmd = cmd
+		se.flushPending()
 		dn, dest, _ := strings.Cut(strings.TrimSpace(rest), " ")
 		se.tx.Move(strings.TrimSpace(dn), strings.TrimSpace(dest))
 	case "COMMIT":
-		if err := se.flushPending(); err != nil {
-			se.err(err.Error())
-			se.abort()
-			return false
-		}
+		se.cmd = cmd
+		se.flushPending()
 		se.commit()
 	case "ABORT":
+		se.cmd = cmd
 		se.abort()
 		se.ok()
 	case "":
@@ -329,16 +557,18 @@ func (se *session) handleTx(line string) bool {
 	return false
 }
 
-func (se *session) flushPending() error {
+func (se *session) flushPending() {
 	if se.pendingDN == "" {
-		return nil
+		return
 	}
 	se.tx.Add(se.pendingDN, se.pendingClasses, se.pendingAttrs)
 	se.pendingDN, se.pendingClasses, se.pendingAttrs = "", nil, nil
-	return nil
 }
 
 func (se *session) abort() {
+	if se.tx != nil {
+		se.srv.metrics.TxActive.Add(-1)
+	}
 	se.tx = nil
 	se.pendingDN, se.pendingClasses, se.pendingAttrs = "", nil, nil
 }
@@ -346,28 +576,49 @@ func (se *session) abort() {
 func (se *session) commit() {
 	tx := se.tx
 	se.abort()
-	se.srv.mu.Lock()
-	report, err := se.srv.applier.Apply(se.srv.dir, tx)
+	s := se.srv
+	s.mu.Lock()
+	if s.readOnly != "" {
+		reason := s.readOnly
+		s.mu.Unlock()
+		s.metrics.TxErrors.Add(1)
+		se.err("server is read-only: " + reason)
+		return
+	}
+	report, undo, err := s.applier.ApplyWithUndo(s.dir, tx)
 	// Re-encode before releasing the write lock: reader sessions (CHECK,
 	// SEARCH, QUERY) run under the read lock and rely on the encoding
 	// being current, so the lazy re-encode must never fire concurrently
 	// under RLock (dirtree.Directory is read-only while Encoded).
-	se.srv.dir.EnsureEncoded()
-	if err == nil && report.Legal() && se.srv.journal != nil {
-		if jerr := tx.WriteChanges(se.srv.journal); jerr == nil {
-			jerr = se.srv.journal.Sync()
-			_ = jerr
+	s.dir.EnsureEncoded()
+	if err == nil && report.Legal() && s.journal != nil {
+		if jerr := s.appendCommit(tx); jerr != nil {
+			// Not durable: roll the in-memory state back so the ERR reply
+			// and the journal agree that this transaction never happened.
+			if uerr := undo(); uerr != nil {
+				s.readOnly = fmt.Sprintf("in-memory state diverged after failed journal write: %v (rollback: %v)", jerr, uerr)
+				s.logf("server: %s", s.readOnly)
+			}
+			s.dir.EnsureEncoded()
+			s.mu.Unlock()
+			s.metrics.TxErrors.Add(1)
+			se.err(fmt.Sprintf("commit not durable: %v", jerr))
+			return
 		}
 	}
-	se.srv.mu.Unlock()
+	s.mu.Unlock()
 	if err != nil {
+		s.metrics.TxErrors.Add(1)
 		se.err(err.Error())
 		return
 	}
 	if !report.Legal() {
+		s.metrics.TxIllegal.Add(1)
+		s.metrics.noteViolations(report)
 		se.illegal(report)
 		return
 	}
+	s.metrics.TxCommitted.Add(1)
 	se.ok()
 }
 
@@ -440,6 +691,7 @@ func (se *session) check() {
 	report := se.srv.checker.Check(se.srv.dir)
 	se.srv.mu.RUnlock()
 	if !report.Legal() {
+		se.srv.metrics.noteViolations(report)
 		se.illegal(report)
 		return
 	}
@@ -452,6 +704,7 @@ func (se *session) consistent() {
 	if res.Consistent {
 		se.ok()
 	} else {
+		se.term = "ILLEGAL"
 		se.reply("ILLEGAL")
 	}
 }
@@ -465,6 +718,36 @@ func (se *session) stat() {
 	for _, c := range names {
 		se.reply(fmt.Sprintf("class %s: %d", c, se.srv.dir.ClassCount(c)))
 	}
+	se.ok()
+}
+
+func (se *session) metricsCmd() {
+	s := se.srv
+	s.mu.RLock()
+	journalOn := s.journal != nil
+	readOnly := s.readOnly
+	s.mu.RUnlock()
+	se.reply(s.metrics.lines(journalOn, readOnly)...)
+	se.ok()
+}
+
+func (se *session) snapshotCmd() {
+	s := se.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		se.err("no journal configured")
+		return
+	}
+	if s.readOnly != "" {
+		se.err("server is read-only: " + s.readOnly)
+		return
+	}
+	if err := s.rotateJournal(); err != nil {
+		se.err(err.Error())
+		return
+	}
+	se.reply("# journal compacted to " + s.journal.snapPath)
 	se.ok()
 }
 

@@ -74,8 +74,27 @@ func (a *Applier) Apply(d *dirtree.Directory, t *Transaction) (*core.Report, err
 	return a.ApplyNormalized(d, norm)
 }
 
+// ApplyWithUndo is Apply plus a revert handle: on a successful, legal
+// application it additionally returns a non-nil undo function that
+// reverses the transaction and rebuilds the applier's count and key
+// indexes. Undo must be called before any further mutation of d (the
+// server's durable-commit path calls it under the same write lock when a
+// journal write fails, so a non-durable commit is never visible).
+func (a *Applier) ApplyWithUndo(d *dirtree.Directory, t *Transaction) (*core.Report, func() error, error) {
+	norm, err := Normalize(d, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a.applyNormalized(d, norm)
+}
+
 // ApplyNormalized applies a pre-normalized update.
 func (a *Applier) ApplyNormalized(d *dirtree.Directory, norm *Normalized) (*core.Report, error) {
+	r, _, err := a.applyNormalized(d, norm)
+	return r, err
+}
+
+func (a *Applier) applyNormalized(d *dirtree.Directory, norm *Normalized) (*core.Report, func() error, error) {
 	// Key collisions with entries this same update deletes (a moved
 	// subtree's origin) are excused; the deletion removes them.
 	pendingDelete := func(dn string) bool {
@@ -109,17 +128,17 @@ func (a *Applier) ApplyNormalized(d *dirtree.Directory, norm *Normalized) (*core
 			parent = d.ByDN(ins.ParentDN)
 			if parent == nil {
 				if rerr := rollback(); rerr != nil {
-					return nil, rerr
+					return nil, nil, rerr
 				}
-				return nil, fmt.Errorf("txn: graft parent %q vanished", ins.ParentDN)
+				return nil, nil, fmt.Errorf("txn: graft parent %q vanished", ins.ParentDN)
 			}
 		}
 		root, err := d.GraftSubtree(parent, ins.Fragment.Roots()[0])
 		if err != nil {
 			if rerr := rollback(); rerr != nil {
-				return nil, rerr
+				return nil, nil, rerr
 			}
-			return nil, err
+			return nil, nil, err
 		}
 		rootDN := root.DN()
 		undo = append(undo, func() error {
@@ -136,17 +155,17 @@ func (a *Applier) ApplyNormalized(d *dirtree.Directory, norm *Normalized) (*core
 		if a.Keys != nil {
 			if r := a.Keys.CheckInsertExcluding(d, root, pendingDelete); !r.Legal() {
 				if rerr := rollback(); rerr != nil {
-					return nil, rerr
+					return nil, nil, rerr
 				}
-				return r, nil
+				return r, nil, nil
 			}
 			a.Keys.NoteInsert(d, root)
 		}
 		if r := a.checkInsert(d, root); !r.Legal() {
 			if rerr := rollback(); rerr != nil {
-				return nil, rerr
+				return nil, nil, rerr
 			}
-			return r, nil
+			return r, nil, nil
 		}
 	}
 
@@ -155,20 +174,20 @@ func (a *Applier) ApplyNormalized(d *dirtree.Directory, norm *Normalized) (*core
 		root := d.ByDN(dn)
 		if root == nil {
 			if rerr := rollback(); rerr != nil {
-				return nil, rerr
+				return nil, nil, rerr
 			}
-			return nil, fmt.Errorf("txn: delete root %q vanished", dn)
+			return nil, nil, fmt.Errorf("txn: delete root %q vanished", dn)
 		}
 		if r := a.checkDelete(d, root); !r.Legal() {
 			if rerr := rollback(); rerr != nil {
-				return nil, rerr
+				return nil, nil, rerr
 			}
-			return r, nil
+			return r, nil, nil
 		}
 		// Keep a copy for rollback, then delete.
 		saved := dirtree.New(d.Registry())
 		if _, err := saved.GraftSubtree(nil, root); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		parentDN := ""
 		if p := root.Parent(); p != nil {
@@ -181,7 +200,7 @@ func (a *Applier) ApplyNormalized(d *dirtree.Directory, norm *Normalized) (*core
 			a.Keys.NoteDelete(d, root)
 		}
 		if _, err := d.DeleteSubtree(root); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		undo = append(undo, func() error {
 			var parent *dirtree.Entry
@@ -199,12 +218,12 @@ func (a *Applier) ApplyNormalized(d *dirtree.Directory, norm *Normalized) (*core
 	if a.Mode == CheckFull {
 		if r := a.checker.Check(d); !r.Legal() {
 			if rerr := rollback(); rerr != nil {
-				return nil, rerr
+				return nil, nil, rerr
 			}
-			return r, nil
+			return r, nil, nil
 		}
 	}
-	return &core.Report{}, nil
+	return &core.Report{}, rollback, nil
 }
 
 // checkInsert verifies that the grafted subtree preserves legality.

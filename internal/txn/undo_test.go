@@ -1,0 +1,84 @@
+package txn
+
+import (
+	"testing"
+
+	"boundschema/internal/core"
+	"boundschema/internal/workload"
+)
+
+// TestApplyWithUndo exercises the revert handle behind the server's
+// durable-commit path: a successfully applied transaction must be fully
+// reversible, including the applier's count index, and the applier must
+// keep working after an undo.
+func TestApplyWithUndo(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	d := workload.WhitePagesInstance(s)
+	a := NewApplier(s)
+	a.Counts = NewCountIndex(d)
+	a.NarrowDeletes = true
+	before := d.String()
+
+	tx := &Transaction{}
+	tx.Add("ou=networking,ou=attLabs,o=att", []string{"orgUnit", "orgGroup", "top"}, nil)
+	tx.Add("uid=pat,ou=networking,ou=attLabs,o=att", []string{"person", "top"}, person("pat"))
+	tx.Delete("uid=armstrong,ou=attLabs,o=att")
+	tx.Move("ou=databases,ou=attLabs,o=att", "o=att")
+
+	r, undo, err := a.ApplyWithUndo(d, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Legal() {
+		t.Fatalf("legal transaction rejected:\n%s", r)
+	}
+	if undo == nil {
+		t.Fatal("no undo handle on a successful apply")
+	}
+	if d.ByDN("uid=pat,ou=networking,ou=attLabs,o=att") == nil {
+		t.Fatalf("insert not applied")
+	}
+
+	if err := undo(); err != nil {
+		t.Fatalf("undo: %v", err)
+	}
+	if got := d.String(); got != before {
+		t.Errorf("undo did not restore the instance:\n--- before\n%s\n--- after undo\n%s", before, got)
+	}
+	if rep := core.NewChecker(s).Check(d); !rep.Legal() {
+		t.Fatalf("instance illegal after undo:\n%s", rep)
+	}
+
+	// The count index was rebuilt by undo: a deletion that would remove
+	// the last person must still be caught incrementally.
+	del := &Transaction{}
+	del.Delete("uid=armstrong,ou=attLabs,o=att")
+	del.Delete("uid=laks,ou=databases,ou=attLabs,o=att")
+	del.Delete("uid=suciu,ou=databases,ou=attLabs,o=att")
+	if r, err := a.Apply(d, del); err != nil {
+		t.Fatal(err)
+	} else if r.Legal() {
+		t.Fatalf("deleting every person accepted after undo")
+	}
+
+	// And a fresh legal transaction still applies cleanly after the undo.
+	again := &Transaction{}
+	again.Add("uid=redo,ou=attLabs,o=att", []string{"person", "top"}, person("redo"))
+	if r, err := a.Apply(d, again); err != nil || !r.Legal() {
+		t.Fatalf("apply after undo: err=%v report=%s", err, r)
+	}
+
+	// A rejected transaction returns no undo handle.
+	bad := &Transaction{}
+	bad.Add("ou=empty,ou=attLabs,o=att", []string{"orgUnit", "orgGroup", "top"}, nil)
+	r, undo, err = a.ApplyWithUndo(d, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Legal() {
+		t.Fatalf("empty org unit accepted")
+	}
+	if undo != nil {
+		t.Errorf("undo handle returned for a rejected transaction")
+	}
+}
