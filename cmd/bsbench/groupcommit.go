@@ -1,0 +1,247 @@
+package main
+
+// E16 — group-commit durability (internal/server/groupcommit.go): the
+// same concurrent-writer workload against two otherwise identical
+// journaled servers, one batching commits into shared fsyncs (group
+// commit, the default) and one syncing per transaction (PR 2's
+// behaviour, -group-commit=false). Both run with the same artificial
+// fsync latency so the experiment measures the pipeline, not the disk.
+// A reader hammers the server throughout, probing whether an in-flight
+// fsync ever blocks reads. Optionally records the numbers as JSON
+// (-json-e16 BENCH_groupcommit.json) for a perf trajectory.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"boundschema/internal/server"
+	"boundschema/internal/workload"
+)
+
+type groupCommitMode struct {
+	Mode            string  `json:"mode"`
+	Writers         int     `json:"writers"`
+	Commits         int     `json:"commits"`
+	ElapsedNs       int64   `json:"elapsed_ns"`
+	CommitsPerSec   float64 `json:"commits_per_sec"`
+	Fsyncs          int64   `json:"fsyncs"`
+	CommitsPerFsync float64 `json:"commits_per_fsync"`
+	MaxBatch        int64   `json:"max_batch"`
+	ReaderOps       int64   `json:"reader_ops"`
+	ReaderMaxNs     int64   `json:"reader_max_latency_ns"`
+}
+
+type groupCommitResult struct {
+	Experiment  string            `json:"experiment"`
+	SyncDelayMs int64             `json:"sync_delay_ms"`
+	Modes       []groupCommitMode `json:"modes"`
+	Speedup     float64           `json:"speedup_group_vs_per_txn"`
+}
+
+// e16RoundTrip sends lines and reads one response terminator.
+func e16RoundTrip(conn net.Conn, r *bufio.Reader, lines ...string) (string, error) {
+	for _, l := range lines {
+		if _, err := conn.Write([]byte(l + "\n")); err != nil {
+			return "", err
+		}
+	}
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		line = strings.TrimRight(line, "\n")
+		if line == "OK" || line == "ILLEGAL" || strings.HasPrefix(line, "ERR ") {
+			return line, nil
+		}
+	}
+}
+
+// e16Mode runs one full workload against a fresh journaled server and
+// reports its throughput and amortization counters.
+func e16Mode(group bool, writers, commitsPer int, syncDelay time.Duration) (groupCommitMode, error) {
+	name := "per-txn-fsync"
+	if group {
+		name = "group-commit"
+	}
+	res := groupCommitMode{Mode: name, Writers: writers, Commits: writers * commitsPer}
+
+	s := workload.WhitePagesSchema()
+	dir, err := os.MkdirTemp("", "bsbench-e16-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := server.New(s, "whitepages", workload.WhitePagesInstance(s))
+	if err != nil {
+		return res, err
+	}
+	srv.SetGroupCommit(group)
+	if err := srv.OpenJournal(filepath.Join(dir, "journal.ldif")); err != nil {
+		return res, err
+	}
+	srv.SetSyncDelay(syncDelay)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	defer srv.Close()
+
+	var (
+		readerWg  sync.WaitGroup
+		writerWg  sync.WaitGroup
+		errMu     sync.Mutex
+		firstErr  error
+		stop      = make(chan struct{})
+		readerOps atomic.Int64
+		readerMax atomic.Int64
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	// The reader probe: reads must stay live while fsyncs are in flight.
+	readerWg.Add(1)
+	go func() {
+		defer readerWg.Done()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			t0 := time.Now()
+			if term, err := e16RoundTrip(conn, r, "GET ou=attLabs,o=att"); err != nil || term != "OK" {
+				fail(fmt.Errorf("reader: %q %v", term, err))
+				return
+			}
+			el := time.Since(t0).Nanoseconds()
+			readerOps.Add(1)
+			for {
+				old := readerMax.Load()
+				if el <= old || readerMax.CompareAndSwap(old, el) {
+					break
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(w int) {
+			defer writerWg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for i := 0; i < commitsPer; i++ {
+				uid := fmt.Sprintf("e16w%dc%d", w, i)
+				term, err := e16RoundTrip(conn, r,
+					"BEGIN",
+					"ADD uid="+uid+",ou=attLabs,o=att",
+					"objectClass: person",
+					"objectClass: top",
+					"name: "+uid,
+					"COMMIT",
+				)
+				if err != nil || term != "OK" {
+					fail(fmt.Errorf("writer %d BEGIN: %q %v", w, term, err))
+					return
+				}
+				// That was BEGIN's OK; now read the COMMIT verdict.
+				if term, err = e16RoundTrip(conn, r); err != nil || term != "OK" {
+					fail(fmt.Errorf("writer %d commit %d: %q %v", w, i, term, err))
+					return
+				}
+			}
+		}(w)
+	}
+
+	writerWg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	readerWg.Wait()
+	if firstErr != nil {
+		return res, firstErr
+	}
+
+	fsyncs, commits, maxBatch := srv.JournalStats()
+	res.ElapsedNs = elapsed.Nanoseconds()
+	res.CommitsPerSec = float64(commits) / elapsed.Seconds()
+	res.Fsyncs = fsyncs
+	res.CommitsPerFsync = float64(commits) / float64(fsyncs)
+	res.MaxBatch = maxBatch
+	res.ReaderOps = readerOps.Load()
+	res.ReaderMaxNs = readerMax.Load()
+	return res, nil
+}
+
+func runE16() {
+	writers, commitsPer := 8, 25
+	syncDelay := 2 * time.Millisecond
+	if *quick {
+		commitsPer = 6
+	}
+	fmt.Printf("%d writers x %d commits each, artificial fsync latency %v\n\n",
+		writers, commitsPer, syncDelay)
+
+	res := groupCommitResult{Experiment: "e16-group-commit", SyncDelayMs: syncDelay.Milliseconds()}
+	var perTxn, grouped groupCommitMode
+	for _, group := range []bool{false, true} {
+		m, err := e16Mode(group, writers, commitsPer, syncDelay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bsbench: e16 %s: %v\n", m.Mode, err)
+			return
+		}
+		res.Modes = append(res.Modes, m)
+		if group {
+			grouped = m
+		} else {
+			perTxn = m
+		}
+		fmt.Printf("%-14s %8.0f commits/s  fsyncs=%-4d commits/fsync=%-6.2f max_batch=%-3d reader_max=%v over %d reads\n",
+			m.Mode, m.CommitsPerSec, m.Fsyncs, m.CommitsPerFsync, m.MaxBatch,
+			time.Duration(m.ReaderMaxNs), m.ReaderOps)
+	}
+	res.Speedup = grouped.CommitsPerSec / perTxn.CommitsPerSec
+	fmt.Printf("\ngroup commit vs per-transaction fsync: %.2fx throughput, %.2f commits amortized per fsync\n",
+		res.Speedup, grouped.CommitsPerFsync)
+	fmt.Println("shape check: with W concurrent writers and a slow disk, commits/fsync tends toward W and throughput scales with it.")
+
+	if *jsonE16 != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bsbench: %v\n", err)
+			return
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonE16, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bsbench: %v\n", err)
+			return
+		}
+		fmt.Printf("results written to %s\n", *jsonE16)
+	}
+}

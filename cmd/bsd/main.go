@@ -9,11 +9,13 @@
 //	    [-snapshot out.ldif] [-journal changes.ldif] [-parallel N]
 //	    [-read-timeout 0] [-idle-timeout 0] [-max-conns 0]
 //	    [-drain-timeout 1s] [-journal-rotate 0] [-metrics-addr host:port]
+//	    [-group-commit=true] [-commit-delay 0]
 //
 // Protocol (line-oriented over TCP; every response ends with OK, ILLEGAL
-// or ERR):
+// or ERR). DNs may contain spaces: SEARCH's base= takes the rest of the
+// line, and MOVE separates source and destination with "->":
 //
-//	SEARCH (objectClass=person) [base=ou=eng,o=corp]
+//	SEARCH (objectClass=person) [base=ou=Human Resources,o=corp]
 //	QUERY (minus (select (objectClass=orgGroup)) ...)
 //	GET uid=ada,ou=eng,o=corp
 //	BEGIN
@@ -22,6 +24,7 @@
 //	objectClass: top
 //	name: New Person
 //	DELETE uid=old,ou=eng,o=corp
+//	MOVE ou=eng,o=corp -> o=corp
 //	COMMIT
 //	CHECK | CONSISTENT | SCHEMA | STAT | METRICS | SNAPSHOT | QUIT
 package main
@@ -54,6 +57,8 @@ func main() {
 	maxConns := flag.Int("max-conns", 0, "max concurrent sessions; further accepts queue (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", time.Second, "grace given to live sessions on shutdown")
 	journalRotate := flag.Int64("journal-rotate", 0, "compact the journal into a snapshot once it exceeds this many bytes (0 = never)")
+	groupCommit := flag.Bool("group-commit", true, "batch concurrent COMMITs into one journal fsync (off = one fsync per transaction)")
+	commitDelay := flag.Duration("commit-delay", 0, "extra wait before each journal fsync so more commits join the batch (0 = none)")
 	metricsAddr := flag.String("metrics-addr", "", "serve expvar metrics over HTTP on this address (empty = off)")
 	flag.Parse()
 	if *schemaPath == "" {
@@ -100,6 +105,8 @@ func main() {
 		DrainTimeout: *drainTimeout,
 	})
 	srv.SetJournalRotation(*journalRotate)
+	srv.SetGroupCommit(*groupCommit)
+	srv.SetCommitDelay(*commitDelay)
 	if *journal != "" {
 		if err := srv.OpenJournal(*journal); err != nil {
 			fatal(err)

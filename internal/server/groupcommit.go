@@ -1,0 +1,292 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"boundschema/internal/txn"
+)
+
+// This file is the group-commit pipeline: the batched-durability half of
+// the commit path. Without it every COMMIT holds the server's write lock
+// across the journal write AND fsync, so one slow disk sync stalls every
+// reader and serializes all writers at one-fsync-per-transaction. With
+// it, the write-lock critical section shrinks to apply + validate +
+// re-encode + journal-record encoding, and durability moves to a single
+// committer goroutine that coalesces every record staged while the
+// previous fsync was in flight into one write + Sync() (ARIES-style
+// group commit).
+//
+// Invariants:
+//
+//   - Journal order equals apply order. Sequence numbers are assigned
+//     and records staged while the apply's write lock is still held, so
+//     the staging queue is always in apply order and the committer
+//     writes it front-to-back.
+//   - OK still means applied AND on disk. A session replies only after
+//     its record's batch has fsynced.
+//   - A failed batch write/sync fails every member: the committer
+//     re-acquires the write lock, rolls back the batch's transactions
+//     plus anything staged on top of them (all equally non-durable) in
+//     reverse apply order via their ApplyWithUndo closures, truncates
+//     torn bytes, and replies "ERR commit not durable" to each. If the
+//     rollback or the truncate fails, the server degrades to read-only
+//     — the same contract as the per-transaction path, extended to a
+//     batch.
+//   - Snapshot rotation only runs at a quiescent point (staging queue
+//     empty under the write lock), so the snapshot can never contain a
+//     transaction the journal will replay again.
+
+// commitReq is one staged, already-applied transaction awaiting
+// durability. data is the encoded LDIF change record, produced under the
+// write lock so it reflects exactly what was applied.
+type commitReq struct {
+	seq  uint64
+	data []byte
+	undo func() error // rolls the apply back; call under s.mu only
+	done chan error   // buffered(1); nil means durable
+}
+
+// committer owns all journal file I/O while group commit is on. It is
+// started by OpenJournal and stopped by Close after sessions drain.
+type committer struct {
+	srv   *Server
+	delay time.Duration // extra window to accumulate a batch (0 = none)
+
+	mu      sync.Mutex
+	staged  []*commitReq // apply-ordered; appended under srv.mu
+	rotates []chan error // pending SNAPSHOT requests
+	lastSeq uint64
+
+	wake     chan struct{} // buffered(1) doorbell
+	quit     chan struct{}
+	dead     chan struct{}
+	stopOnce sync.Once
+}
+
+func (s *Server) startCommitter() {
+	c := &committer{
+		srv:   s,
+		delay: s.commitDelay,
+		wake:  make(chan struct{}, 1),
+		quit:  make(chan struct{}),
+		dead:  make(chan struct{}),
+	}
+	s.committer = c
+	go c.loop()
+}
+
+// stop shuts the committer down after draining staged work. Safe to call
+// more than once; callers must ensure no new sessions can stage.
+func (c *committer) stop() {
+	c.stopOnce.Do(func() { close(c.quit) })
+	<-c.dead
+}
+
+// stage enqueues a record for the next batch. Called with srv.mu held,
+// which is what makes the queue order equal the apply order.
+func (c *committer) stage(r *commitReq) {
+	c.mu.Lock()
+	if r.seq < c.lastSeq {
+		// Defensive: sequence numbers are assigned under the same lock
+		// that orders staging, so this cannot happen short of a bug.
+		c.srv.logf("server: group commit staged out of order (seq %d after %d)", r.seq, c.lastSeq)
+	}
+	c.lastSeq = r.seq
+	c.staged = append(c.staged, r)
+	c.mu.Unlock()
+	c.ring()
+}
+
+// requestRotate enqueues a SNAPSHOT compaction and returns its reply
+// channel. Called without srv.mu.
+func (c *committer) requestRotate() chan error {
+	done := make(chan error, 1)
+	c.mu.Lock()
+	c.rotates = append(c.rotates, done)
+	c.mu.Unlock()
+	c.ring()
+	return done
+}
+
+func (c *committer) ring() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (c *committer) takeStaged() []*commitReq {
+	c.mu.Lock()
+	batch := c.staged
+	c.staged = nil
+	c.mu.Unlock()
+	return batch
+}
+
+func (c *committer) stagedEmpty() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.staged) == 0
+}
+
+func (c *committer) takeRotates() []chan error {
+	c.mu.Lock()
+	rot := c.rotates
+	c.rotates = nil
+	c.mu.Unlock()
+	return rot
+}
+
+func (c *committer) loop() {
+	defer close(c.dead)
+	for {
+		select {
+		case <-c.wake:
+		case <-c.quit:
+			c.drain()
+			return
+		}
+		if c.delay > 0 {
+			// Deliberately widen the window so more concurrent commits
+			// join this batch. Trades commit latency for fsync amortization.
+			time.Sleep(c.delay)
+		}
+		if batch := c.takeStaged(); len(batch) > 0 {
+			c.commitBatch(batch)
+		}
+		if rot := c.takeRotates(); len(rot) > 0 {
+			c.rotate(rot)
+		}
+		c.maybeAutoRotate()
+	}
+}
+
+// drain flushes everything staged at shutdown so no session is left
+// waiting on a reply. Pending rotations are refused.
+func (c *committer) drain() {
+	for {
+		batch := c.takeStaged()
+		rot := c.takeRotates()
+		if len(batch) == 0 && len(rot) == 0 {
+			return
+		}
+		if len(batch) > 0 {
+			c.commitBatch(batch)
+		}
+		for _, w := range rot {
+			w <- errors.New("server shutting down")
+		}
+	}
+}
+
+// commitBatch writes every staged record and performs one Sync for the
+// whole batch. Runs without srv.mu — this is the point of the pipeline:
+// readers and the next wave of appliers proceed while the disk works.
+func (c *committer) commitBatch(batch []*commitReq) {
+	s := c.srv
+	j := s.journal
+	cw := &countingWriter{w: j.f}
+	var err error
+	for _, r := range batch {
+		if _, werr := cw.Write(r.data); werr != nil {
+			err = werr
+			break
+		}
+	}
+	if err == nil {
+		err = s.syncJournal()
+	}
+	if err != nil {
+		c.failBatch(batch, err)
+		return
+	}
+	j.size += cw.n
+	s.metrics.JournalBytes.Store(j.size)
+	s.metrics.noteBatch(len(batch))
+	for _, r := range batch {
+		r.done <- nil
+	}
+}
+
+// failBatch handles a failed batch write or sync: every member — plus
+// any transaction staged on top of the batch while the sync was in
+// flight, which is equally non-durable and was applied later — is rolled
+// back in reverse apply order under the write lock, torn bytes are
+// truncated away, and each session gets the error for its "ERR commit
+// not durable" reply.
+func (c *committer) failBatch(batch []*commitReq, err error) {
+	s := c.srv
+	j := s.journal
+	s.metrics.JournalErrors.Add(1)
+	s.mu.Lock()
+	all := append(batch, c.takeStaged()...)
+	undos := make([]func() error, len(all))
+	for i, r := range all {
+		undos[i] = r.undo
+	}
+	if uerr := txn.ComposeUndo(undos...)(); uerr != nil {
+		s.readOnly = fmt.Sprintf("in-memory state diverged after failed journal write: %v (rollback: %v)", err, uerr)
+		s.logf("server: %s", s.readOnly)
+	}
+	s.dir.EnsureEncoded()
+	if terr := j.f.Truncate(j.size); terr != nil {
+		j.failed = true
+		s.readOnly = fmt.Sprintf("journal %s unrecoverable after failed write (%v; truncate: %v)", j.path, err, terr)
+		s.logf("journal: %s", s.readOnly)
+	}
+	s.mu.Unlock()
+	for _, r := range all {
+		r.done <- err
+	}
+}
+
+// rotate serves SNAPSHOT requests. Compaction must only run when the
+// in-memory instance equals the durable state, otherwise the snapshot
+// would contain staged-but-unsynced transactions that the journal later
+// replays again. Holding the write lock freezes staging, so "staged
+// queue empty under srv.mu" is exactly that quiescent point; any backlog
+// is flushed first.
+func (c *committer) rotate(waiters []chan error) {
+	s := c.srv
+	for {
+		s.mu.Lock()
+		if c.stagedEmpty() {
+			break
+		}
+		s.mu.Unlock()
+		if batch := c.takeStaged(); len(batch) > 0 {
+			c.commitBatch(batch)
+		}
+	}
+	var err error
+	if s.readOnly != "" {
+		err = errors.New("server is read-only: " + s.readOnly)
+	} else {
+		err = s.rotateJournal()
+	}
+	s.mu.Unlock()
+	for _, w := range waiters {
+		w <- err
+	}
+}
+
+// maybeAutoRotate applies the size-threshold rotation rule after a
+// batch. Skipped when new commits are already staged — the journal is
+// still a complete log, and the check reruns after the next batch.
+func (c *committer) maybeAutoRotate() {
+	s := c.srv
+	if s.rotateBytes <= 0 || s.journal.size < s.rotateBytes {
+		return
+	}
+	s.mu.Lock()
+	if c.stagedEmpty() && s.readOnly == "" {
+		if err := s.rotateJournal(); err != nil {
+			s.metrics.JournalErrors.Add(1)
+			s.logf("journal rotation: %v", err)
+		}
+	}
+	s.mu.Unlock()
+}

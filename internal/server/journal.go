@@ -2,9 +2,11 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"boundschema/internal/ldif"
 	"boundschema/internal/txn"
@@ -34,8 +36,11 @@ type journalFile interface {
 	Close() error
 }
 
-// journal is the commit log of a running server. Mutated only under the
-// server's write lock.
+// journal is the commit log of a running server. In per-transaction mode
+// it is mutated only under the server's write lock; in group-commit mode
+// (the default) all file I/O and size accounting belong to the committer
+// goroutine (see groupcommit.go), which takes the write lock only for
+// failure rollback and rotation.
 type journal struct {
 	path     string
 	snapPath string
@@ -56,6 +61,17 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	c.n += int64(n)
 	return n, err
 }
+
+// commitMarker terminates each transaction's change records in the
+// journal. It is an LDIF comment, so generic LDIF tooling (and our own
+// Reader) ignores it; replay uses it to re-group records into the
+// transactions that were actually committed, because a multi-record
+// transaction may only be legal atomically (ADD an orgGroup and its
+// first person together). The marker is written in the same journal
+// append as the records and fsynced before the COMMIT answers OK, so
+// on restart an unterminated tail is exactly an unacknowledged torn
+// write — safe to discard.
+const commitMarker = "# commit\n"
 
 // OpenJournal prepares the durable state at path: it loads the compacted
 // snapshot <path>.snapshot when one exists (replacing the initial
@@ -81,16 +97,46 @@ func (s *Server) OpenJournal(path string) error {
 	} else if !os.IsNotExist(err) {
 		return err
 	}
-	if f, err := os.Open(path); err == nil {
-		recs, rerr := ldif.NewReader(f).ReadAll()
-		f.Close()
-		if rerr != nil {
-			return fmt.Errorf("server: journal %s: %v", path, rerr)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	torn := 0
+	if len(data) > 0 {
+		var txns [][]*ldif.Record
+		if !bytes.Contains(data, []byte(commitMarker)) {
+			// Legacy journal (no markers): every record was committed
+			// on its own, so replay one transaction per record.
+			recs, rerr := ldif.NewReader(bytes.NewReader(data)).ReadAll()
+			if rerr != nil {
+				return fmt.Errorf("server: journal %s: %v", path, rerr)
+			}
+			for _, rec := range recs {
+				txns = append(txns, []*ldif.Record{rec})
+			}
+		} else {
+			// Marker-terminated journal: records between markers are one
+			// atomic transaction. Bytes after the last marker were never
+			// acknowledged (the marker lands before the fsync that
+			// precedes OK), so a torn tail is discarded, not replayed.
+			valid := data
+			if idx := bytes.LastIndex(data, []byte(commitMarker)); idx >= 0 {
+				valid = data[:idx+len(commitMarker)]
+				torn = len(data) - len(valid)
+			}
+			for _, seg := range bytes.Split(valid, []byte(commitMarker)) {
+				if len(bytes.TrimSpace(seg)) == 0 {
+					continue
+				}
+				recs, rerr := ldif.NewReader(bytes.NewReader(seg)).ReadAll()
+				if rerr != nil {
+					return fmt.Errorf("server: journal %s: %v", path, rerr)
+				}
+				txns = append(txns, recs)
+			}
 		}
-		// Each record was committed individually; replay one at a time
-		// so a partial trailing transaction cannot poison the rest.
-		for _, rec := range recs {
-			tx, terr := txn.FromRecords([]*ldif.Record{rec}, s.schema.Registry)
+		for _, recs := range txns {
+			tx, terr := txn.FromRecords(recs, s.schema.Registry)
 			if terr != nil {
 				return fmt.Errorf("server: journal %s: %v", path, terr)
 			}
@@ -105,32 +151,54 @@ func (s *Server) OpenJournal(path string) error {
 				return fmt.Errorf("server: journal %s replay rejected:\n%s", path, report)
 			}
 		}
-	} else if !os.IsNotExist(err) {
-		return err
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
-	size := int64(0)
-	if st, serr := f.Stat(); serr == nil {
-		size = st.Size()
+	size := int64(len(data))
+	if torn > 0 {
+		// Drop the unacknowledged tail so future appends extend a clean
+		// prefix of committed transactions.
+		size -= int64(torn)
+		if terr := f.Truncate(size); terr != nil {
+			f.Close()
+			return fmt.Errorf("server: journal %s: truncating torn tail: %v", path, terr)
+		}
+		s.logf("journal %s: discarded %d bytes of unacknowledged torn tail", path, torn)
 	}
 	s.journal = &journal{path: path, snapPath: snapPath, f: f, size: size}
 	s.metrics.JournalBytes.Store(size)
+	if s.groupCommit {
+		s.startCommitter()
+	}
 	return nil
 }
 
+// syncJournal fsyncs the journal file, first honouring the artificial
+// SetSyncDelay slow-disk knob. Called under s.mu in per-transaction mode
+// and from the committer goroutine in group-commit mode.
+func (s *Server) syncJournal() error {
+	if d := s.syncDelay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	return s.journal.f.Sync()
+}
+
 // appendCommit durably records a committed transaction (write + fsync).
-// Called with s.mu held. On failure it truncates any torn record so the
-// on-disk journal stays an exact prefix of acknowledged commits; if even
-// that fails, the server degrades to read-only.
+// The per-transaction path, used when group commit is off; called with
+// s.mu held. On failure it truncates any torn record so the on-disk
+// journal stays an exact prefix of acknowledged commits; if even that
+// fails, the server degrades to read-only.
 func (s *Server) appendCommit(tx *txn.Transaction) error {
 	j := s.journal
 	cw := &countingWriter{w: j.f}
 	err := tx.WriteChanges(cw)
 	if err == nil {
-		err = j.f.Sync()
+		_, err = cw.Write([]byte(commitMarker))
+	}
+	if err == nil {
+		err = s.syncJournal()
 	}
 	if err != nil {
 		s.metrics.JournalErrors.Add(1)
@@ -143,6 +211,7 @@ func (s *Server) appendCommit(tx *txn.Transaction) error {
 	}
 	j.size += cw.n
 	s.metrics.JournalBytes.Store(j.size)
+	s.metrics.noteBatch(1) // per-transaction mode: every fsync carries one commit
 	if s.rotateBytes > 0 && j.size >= s.rotateBytes {
 		if rerr := s.rotateJournal(); rerr != nil {
 			// The journal is still a complete log; rotation simply retries

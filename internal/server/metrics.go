@@ -31,19 +31,25 @@ type histogram struct {
 }
 
 func (h *histogram) observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
+	h.observeValue(d.Microseconds())
+}
+
+// observeValue records a raw value into the power-of-two buckets; the
+// batch-size histogram uses it directly (the field names read in µs but
+// the machinery is unit-agnostic).
+func (h *histogram) observeValue(v int64) {
+	if v < 0 {
+		v = 0
 	}
 	h.count.Add(1)
-	h.sumUS.Add(us)
+	h.sumUS.Add(v)
 	for {
 		old := h.maxUS.Load()
-		if us <= old || h.maxUS.CompareAndSwap(old, us) {
+		if v <= old || h.maxUS.CompareAndSwap(old, v) {
 			break
 		}
 	}
-	i := bits.Len64(uint64(us))
+	i := bits.Len64(uint64(v))
 	if i >= histBuckets {
 		i = histBuckets - 1
 	}
@@ -129,6 +135,12 @@ type Metrics struct {
 	JournalRotations atomic.Int64
 	JournalErrors    atomic.Int64
 
+	// Group commit: one observation per fsync, valued at how many
+	// commits that sync made durable. count = fsyncs, sum = commits, so
+	// sum/count is the commits-per-fsync amortization and count/sum the
+	// fsyncs-per-commit cost gauge. Per-transaction mode records 1s.
+	batchSizes histogram
+
 	// Checker timings, split by the execution path taken.
 	checkSeqCount atomic.Int64
 	checkSeqNS    atomic.Int64
@@ -160,6 +172,17 @@ func (m *Metrics) observeCommand(cmd string, d time.Duration, failed bool) {
 		st.errs.Add(1)
 	}
 }
+
+// noteBatch records one journal fsync that made n commits durable.
+func (m *Metrics) noteBatch(n int) {
+	m.batchSizes.observeValue(int64(n))
+}
+
+// Fsyncs returns how many journal syncs have run (one per batch).
+func (m *Metrics) Fsyncs() int64 { return m.batchSizes.count.Load() }
+
+// BatchedCommits returns how many commits those syncs made durable.
+func (m *Metrics) BatchedCommits() int64 { return m.batchSizes.sumUS.Load() }
 
 // noteCheckTiming is installed as the shared Checker's OnTiming hook.
 func (m *Metrics) noteCheckTiming(t core.CheckTiming) {
@@ -204,6 +227,13 @@ func (m *Metrics) lines(journalOn bool, readOnly string) []string {
 	if journalOn {
 		out = append(out, fmt.Sprintf("journal: bytes=%d rotations=%d errors=%d",
 			m.JournalBytes.Load(), m.JournalRotations.Load(), m.JournalErrors.Load()))
+		if fsyncs := m.batchSizes.count.Load(); fsyncs > 0 {
+			commits := m.batchSizes.sumUS.Load()
+			out = append(out, fmt.Sprintf(
+				"group-commit: fsyncs=%d commits=%d commits_per_fsync=%.2f fsyncs_per_commit=%.2f max_batch=%d p99_batch=%d",
+				fsyncs, commits, float64(commits)/float64(fsyncs), float64(fsyncs)/float64(commits),
+				m.batchSizes.maxUS.Load(), m.batchSizes.quantile(0.99)))
+		}
 	} else {
 		out = append(out, "journal: off")
 	}
@@ -276,11 +306,21 @@ func (m *Metrics) snapshot(journalOn bool, readOnly string) map[string]any {
 		},
 	}
 	if journalOn {
-		out["journal"] = map[string]int64{
+		jm := map[string]any{
 			"bytes":     m.JournalBytes.Load(),
 			"rotations": m.JournalRotations.Load(),
 			"errors":    m.JournalErrors.Load(),
 		}
+		if fsyncs := m.batchSizes.count.Load(); fsyncs > 0 {
+			commits := m.batchSizes.sumUS.Load()
+			jm["fsyncs"] = fsyncs
+			jm["batched_commits"] = commits
+			jm["commits_per_fsync"] = float64(commits) / float64(fsyncs)
+			jm["fsyncs_per_commit"] = float64(fsyncs) / float64(commits)
+			jm["max_batch"] = m.batchSizes.maxUS.Load()
+			jm["p99_batch"] = m.batchSizes.quantile(0.99)
+		}
+		out["journal"] = jm
 	}
 	if readOnly != "" {
 		out["read_only"] = readOnly

@@ -5,10 +5,14 @@
 // The protocol is line-oriented text over TCP (LDAP's ASN.1 framing is
 // out of scope; the operations mirror LDAP's):
 //
-//	SEARCH <filter> [base=<dn>]     matching DNs, one per line
+//	SEARCH <filter> [base=<dn>]     matching DNs, one per line (the base
+//	                                DN is everything after "base=" — DNs
+//	                                may contain spaces)
 //	QUERY <hierarchical query>      DNs matched by an hquery expression
 //	GET <dn>                        the entry as LDIF attribute lines
-//	BEGIN ... ADD/DELETE/MOVE ... COMMIT an update transaction (LDIF-ish)
+//	BEGIN ... ADD/DELETE/MOVE ... COMMIT an update transaction (LDIF-ish;
+//	                                MOVE <dn> -> <dest> relocates a
+//	                                subtree, "MOVE <dn> ->" to the root)
 //	CHECK                           full legality report
 //	CONSISTENT                      schema consistency verdict
 //	SCHEMA                          the schema in the definition language
@@ -25,11 +29,14 @@
 // Durability: when a journal is configured, OK after COMMIT means the
 // transaction was applied AND recorded in the journal (write + fsync). A
 // failed journal write rolls the directory back and replies ERR; see
-// journal.go for the read-only degradation and rotation rules.
+// journal.go for the read-only degradation and rotation rules, and
+// groupcommit.go for the batched fsync pipeline (default on) that keeps
+// the contract while coalescing concurrent commits into one sync.
 package server
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -38,6 +45,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"boundschema/internal/core"
@@ -106,6 +114,17 @@ type Server struct {
 	journal     *journal // nil when journaling is off
 	rotateBytes int64    // journal rotation threshold; 0 = never
 	readOnly    string   // non-empty reason = refuse COMMIT/SNAPSHOT
+
+	// Group commit (see groupcommit.go). groupCommit/commitDelay are
+	// configuration read before OpenJournal; committer is non-nil while
+	// the pipeline runs; commitSeq orders records (assigned under mu).
+	groupCommit bool
+	commitDelay time.Duration
+	committer   *committer
+	commitSeq   uint64
+	// syncDelay artificially slows every journal fsync — a test and
+	// benchmark knob emulating a slow disk (see bsbench e16).
+	syncDelay atomic.Int64 // nanoseconds
 }
 
 // New creates a server over the given schema and initial instance. The
@@ -120,14 +139,15 @@ func New(schema *core.Schema, name string, dir *dirtree.Directory) (*Server, err
 	applier.Counts = txn.NewCountIndex(dir)
 	applier.NarrowDeletes = true
 	s := &Server{
-		schema:  schema,
-		name:    name,
-		applier: applier,
-		checker: checker,
-		dir:     dir,
-		closed:  make(chan struct{}),
-		conns:   make(map[net.Conn]struct{}),
-		metrics: newMetrics(),
+		schema:      schema,
+		name:        name,
+		applier:     applier,
+		checker:     checker,
+		dir:         dir,
+		closed:      make(chan struct{}),
+		conns:       make(map[net.Conn]struct{}),
+		metrics:     newMetrics(),
+		groupCommit: true,
 	}
 	checker.OnTiming = s.metrics.noteCheckTiming
 	return s, nil
@@ -157,6 +177,23 @@ func (s *Server) SetErrorLog(l *log.Logger) { s.errorLog = l }
 // journal.go). 0 disables rotation. Call before OpenJournal.
 func (s *Server) SetJournalRotation(bytes int64) { s.rotateBytes = bytes }
 
+// SetGroupCommit selects the durable-commit strategy (default on):
+// batched group commit — one fsync per batch of concurrent COMMITs,
+// performed off the write lock by a committer goroutine — versus the
+// per-transaction write+fsync under the lock. Call before OpenJournal.
+func (s *Server) SetGroupCommit(on bool) { s.groupCommit = on }
+
+// SetCommitDelay widens the group-commit batching window: after waking
+// for a batch, the committer waits this long for more commits to join
+// before syncing. 0 (the default) batches only what accumulates while
+// the previous fsync is in flight. Call before OpenJournal.
+func (s *Server) SetCommitDelay(d time.Duration) { s.commitDelay = d }
+
+// SetSyncDelay makes every journal fsync sleep this long first — an
+// artificial slow disk for tests and the bsbench e16 experiment. Safe to
+// change while serving.
+func (s *Server) SetSyncDelay(d time.Duration) { s.syncDelay.Store(int64(d)) }
+
 // MetricsSnapshot returns a JSON-marshalable snapshot of the server's
 // metrics, shaped for expvar.Publish(expvar.Func(srv.MetricsSnapshot)).
 func (s *Server) MetricsSnapshot() any {
@@ -165,6 +202,14 @@ func (s *Server) MetricsSnapshot() any {
 	readOnly := s.readOnly
 	s.mu.RUnlock()
 	return s.metrics.snapshot(journalOn, readOnly)
+}
+
+// JournalStats reports the durability amortization counters: fsyncs the
+// journal performed, commits those fsyncs made durable, and the largest
+// single batch. commits/fsyncs is the group-commit win; per-transaction
+// mode pins it at 1. Used by the bsbench e16 experiment.
+func (s *Server) JournalStats() (fsyncs, commits, maxBatch int64) {
+	return s.metrics.Fsyncs(), s.metrics.BatchedCommits(), s.metrics.batchSizes.maxUS.Load()
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -225,7 +270,14 @@ func (s *Server) Close() error {
 	}
 	s.mu.Lock()
 	j := s.journal
+	c := s.committer
 	s.mu.Unlock()
+	if c != nil {
+		// Sessions have drained, so nothing new can stage; the committer
+		// flushes any leftover batch before dying, keeping the "OK means
+		// on disk" ledger complete through shutdown.
+		c.stop()
+	}
 	if j != nil {
 		if jerr := j.f.Close(); err == nil {
 			err = jerr
@@ -515,7 +567,20 @@ func (se *session) handleTx(line string) bool {
 	case "MOVE":
 		se.cmd = cmd
 		se.flushPending()
-		dn, dest, _ := strings.Cut(strings.TrimSpace(rest), " ")
+		// "MOVE <dn> -> <dest>": splitting on a space would mangle any DN
+		// containing one, so the protocol uses an explicit arrow separator.
+		// "MOVE <dn> ->" (empty destination) moves to the forest root.
+		dn, dest, ok := strings.Cut(strings.TrimSpace(rest), " -> ")
+		if !ok {
+			if d, rootOK := strings.CutSuffix(strings.TrimSpace(rest), " ->"); rootOK {
+				dn, dest, ok = d, "", true
+			}
+		}
+		if !ok {
+			se.err(`MOVE needs "<dn> -> <dest>" ("<dn> ->" moves to the forest root)`)
+			se.abort()
+			return false
+		}
 		se.tx.Move(strings.TrimSpace(dn), strings.TrimSpace(dest))
 	case "COMMIT":
 		se.cmd = cmd
@@ -565,6 +630,13 @@ func (se *session) flushPending() {
 	se.pendingDN, se.pendingClasses, se.pendingAttrs = "", nil, nil
 }
 
+// abort ends the in-progress transaction and releases the TxActive
+// gauge. Every way out of BEGIN..COMMIT must route here: the ABORT
+// command, protocol errors inside handleTx, COMMIT (which takes the tx
+// then aborts the session state), and serve's deferred call — which
+// covers abrupt disconnects, read errors and idle timeouts, so the
+// gauge cannot drift when a client vanishes mid-transaction. abort is
+// idempotent (tx already nil) and never double-decrements.
 func (se *session) abort() {
 	if se.tx != nil {
 		se.srv.metrics.TxActive.Add(-1)
@@ -591,7 +663,27 @@ func (se *session) commit() {
 	// being current, so the lazy re-encode must never fire concurrently
 	// under RLock (dirtree.Directory is read-only while Encoded).
 	s.dir.EnsureEncoded()
-	if err == nil && report.Legal() && s.journal != nil {
+	if err != nil || !report.Legal() {
+		s.mu.Unlock()
+		if err != nil {
+			s.metrics.TxErrors.Add(1)
+			se.err(err.Error())
+			return
+		}
+		s.metrics.TxIllegal.Add(1)
+		s.metrics.noteViolations(report)
+		se.illegal(report)
+		return
+	}
+	if s.journal == nil {
+		s.mu.Unlock()
+		s.metrics.TxCommitted.Add(1)
+		se.ok()
+		return
+	}
+	if s.committer == nil {
+		// Per-transaction durability (group commit off): write + fsync
+		// under the write lock, as the pre-batching server did.
 		if jerr := s.appendCommit(tx); jerr != nil {
 			// Not durable: roll the in-memory state back so the ERR reply
 			// and the journal agree that this transaction never happened.
@@ -605,17 +697,36 @@ func (se *session) commit() {
 			se.err(fmt.Sprintf("commit not durable: %v", jerr))
 			return
 		}
-	}
-	s.mu.Unlock()
-	if err != nil {
-		s.metrics.TxErrors.Add(1)
-		se.err(err.Error())
+		s.mu.Unlock()
+		s.metrics.TxCommitted.Add(1)
+		se.ok()
 		return
 	}
-	if !report.Legal() {
-		s.metrics.TxIllegal.Add(1)
-		s.metrics.noteViolations(report)
-		se.illegal(report)
+	// Group commit: encode the journal record and assign its sequence
+	// number while the apply's write lock is still held (journal order =
+	// apply order), then release the lock and let the committer batch the
+	// fsync. Readers and other writers proceed while the disk works.
+	var buf bytes.Buffer
+	if werr := tx.WriteChanges(&buf); werr != nil {
+		if uerr := undo(); uerr != nil {
+			s.readOnly = fmt.Sprintf("in-memory state diverged after failed journal encode: %v (rollback: %v)", werr, uerr)
+			s.logf("server: %s", s.readOnly)
+		}
+		s.dir.EnsureEncoded()
+		s.mu.Unlock()
+		s.metrics.TxErrors.Add(1)
+		se.err(fmt.Sprintf("commit not durable: %v", werr))
+		return
+	}
+	buf.WriteString(commitMarker) // terminates the transaction for atomic replay
+	req := &commitReq{seq: s.commitSeq, data: buf.Bytes(), undo: undo, done: make(chan error, 1)}
+	s.commitSeq++
+	s.committer.stage(req)
+	s.mu.Unlock()
+	// OK only after the batch fsync: the durability contract is unchanged.
+	if jerr := <-req.done; jerr != nil {
+		s.metrics.TxErrors.Add(1)
+		se.err(fmt.Sprintf("commit not durable: %v", jerr))
 		return
 	}
 	s.metrics.TxCommitted.Add(1)
@@ -633,18 +744,25 @@ func (se *session) search(rest string) {
 		se.err(err.Error())
 		return
 	}
+	// The base DN is everything after "base=" — DNs contain spaces
+	// (ou=Human Resources,o=acme), so the tail must not be re-tokenized.
+	// Anything else trailing the filter is an error, not silently ignored.
+	tail = strings.TrimSpace(tail)
+	baseDN, hasBase := strings.CutPrefix(tail, "base=")
+	if tail != "" && !hasBase {
+		se.err(fmt.Sprintf("unexpected %q after filter (usage: SEARCH <filter> [base=<dn>])", tail))
+		return
+	}
 	se.srv.mu.RLock()
 	defer se.srv.mu.RUnlock()
 	view := se.srv.dir.All()
-	for _, a := range strings.Fields(tail) {
-		if base, ok := strings.CutPrefix(a, "base="); ok {
-			e := se.srv.dir.ByDN(base)
-			if e == nil {
-				se.err(fmt.Sprintf("base %q not found", base))
-				return
-			}
-			view = se.srv.dir.SubtreeView(e)
+	if hasBase {
+		e := se.srv.dir.ByDN(baseDN)
+		if e == nil {
+			se.err(fmt.Sprintf("base %q not found", baseDN))
+			return
 		}
+		view = se.srv.dir.SubtreeView(e)
 	}
 	for _, e := range view.Entries() {
 		if f.Matches(e) {
@@ -734,20 +852,43 @@ func (se *session) metricsCmd() {
 func (se *session) snapshotCmd() {
 	s := se.srv
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.journal == nil {
+		s.mu.Unlock()
 		se.err("no journal configured")
 		return
 	}
 	if s.readOnly != "" {
-		se.err("server is read-only: " + s.readOnly)
+		reason := s.readOnly
+		s.mu.Unlock()
+		se.err("server is read-only: " + reason)
 		return
 	}
-	if err := s.rotateJournal(); err != nil {
+	snapPath := s.journal.snapPath
+	c := s.committer
+	if c == nil {
+		// Per-transaction mode: the journal is only touched under the
+		// write lock, so rotation can run right here.
+		err := s.rotateJournal()
+		s.mu.Unlock()
+		if err != nil {
+			se.err(err.Error())
+			return
+		}
+		se.reply("# journal compacted to " + snapPath)
+		se.ok()
+		return
+	}
+	// Group-commit mode: all journal file I/O belongs to the committer
+	// goroutine, so compaction is a request it serves at a quiescent
+	// point (no staged-but-unsynced transactions). Waiting must happen
+	// off the lock — the committer's failure path needs it.
+	done := c.requestRotate()
+	s.mu.Unlock()
+	if err := <-done; err != nil {
 		se.err(err.Error())
 		return
 	}
-	se.reply("# journal compacted to " + s.journal.snapPath)
+	se.reply("# journal compacted to " + snapPath)
 	se.ok()
 }
 

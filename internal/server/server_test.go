@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"boundschema/internal/core"
 	"boundschema/internal/dirtree"
@@ -279,7 +280,7 @@ func TestServerMoveCommand(t *testing.T) {
 	srv, c := startServer(t)
 	c.expectOK("BEGIN")
 	c.expectOK(
-		"MOVE ou=databases,ou=attLabs,o=att o=att",
+		"MOVE ou=databases,ou=attLabs,o=att -> o=att",
 		"COMMIT",
 	)
 	c.expectOK("CHECK")
@@ -317,7 +318,7 @@ func TestServerJournalReplay(t *testing.T) {
 		"objectClass: person",
 		"objectClass: top",
 		"name: journaled person",
-		"MOVE ou=databases,ou=attLabs,o=att o=att",
+		"MOVE ou=databases,ou=attLabs,o=att -> o=att",
 		"COMMIT",
 	)
 	// A rejected transaction must NOT reach the journal.
@@ -531,5 +532,77 @@ func TestServerConcurrentCheckCommit(t *testing.T) {
 	}
 	if r := core.NewChecker(s).Check(srv.dir); !r.Legal() {
 		t.Errorf("instance illegal after racing commits:\n%s", r)
+	}
+}
+
+// TestServerSpacedDNRoundTrip: DNs legitimately contain spaces
+// (ou=Human Resources). SEARCH base= must take the whole remainder of
+// the line as the DN, and MOVE's "->" separator must keep a spaced
+// source and destination unambiguous — the regression here was
+// tokenizing both commands on spaces.
+func TestServerSpacedDNRoundTrip(t *testing.T) {
+	srv, c := startServer(t)
+	c.expectOK("BEGIN")
+	c.expectOK(
+		"ADD ou=human resources,ou=attLabs,o=att",
+		"objectClass: orgUnit",
+		"objectClass: orgGroup",
+		"objectClass: top",
+		"ADD uid=hr lead,ou=human resources,ou=attLabs,o=att",
+		"objectClass: person",
+		"objectClass: top",
+		"name: pat hr",
+		"COMMIT",
+	)
+	body := c.expectOK("SEARCH (objectClass=person) base=ou=human resources,ou=attLabs,o=att")
+	if len(body) != 1 || body[0] != "uid=hr lead,ou=human resources,ou=attLabs,o=att" {
+		t.Errorf("search under spaced base = %v", body)
+	}
+	c.expectOK("BEGIN")
+	c.expectOK("MOVE ou=human resources,ou=attLabs,o=att -> o=att", "COMMIT")
+	c.expectOK("CHECK")
+	if body := c.expectOK("GET uid=hr lead,ou=human resources,o=att"); len(body) == 0 {
+		t.Errorf("moved spaced-DN entry not readable at its new DN")
+	}
+	srv.mu.RLock()
+	defer srv.mu.RUnlock()
+	if srv.dir.ByDN("uid=hr lead,ou=human resources,o=att") == nil {
+		t.Errorf("spaced-DN subtree not moved")
+	}
+}
+
+// TestServerSearchRejectsTrailingGarbage: anything after the filter
+// that is not base=<dn> is an error, never silently dropped.
+func TestServerSearchRejectsTrailingGarbage(t *testing.T) {
+	_, c := startServer(t)
+	c.send("SEARCH (objectClass=person) scope=sub")
+	if _, term := c.until(); !strings.HasPrefix(term, "ERR ") {
+		t.Errorf("unknown trailing token accepted: %q", term)
+	}
+	// MOVE without the "->" separator is likewise an error, not a guess
+	// at which space splits the two DNs.
+	c.expectOK("BEGIN")
+	c.send("MOVE ou=databases,ou=attLabs,o=att o=att")
+	if _, term := c.until(); !strings.HasPrefix(term, "ERR ") {
+		t.Errorf("MOVE without '->' accepted: %q", term)
+	}
+}
+
+// TestServerTxActiveGaugeOnAbruptDisconnect: a session that vanishes
+// mid-transaction must not leak the TxActive gauge — the deferred abort
+// in serve() is what keeps it honest.
+func TestServerTxActiveGaugeOnAbruptDisconnect(t *testing.T) {
+	srv, c := startServer(t)
+	c.expectOK("BEGIN")
+	if g := srv.metrics.TxActive.Load(); g != 1 {
+		t.Fatalf("TxActive after BEGIN = %d, want 1", g)
+	}
+	c.conn.Close() // no ABORT, no QUIT: the connection just dies
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.metrics.TxActive.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("TxActive stuck at %d after abrupt disconnect", srv.metrics.TxActive.Load())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -88,6 +88,28 @@ func (a *Applier) ApplyWithUndo(d *dirtree.Directory, t *Transaction) (*core.Rep
 	return a.applyNormalized(d, norm)
 }
 
+// ComposeUndo combines the undo closures of transactions applied in
+// sequence into one closure reverting them all. Undos run newest-first,
+// so each closure sees exactly the directory state its transaction left
+// behind — the property the server's group-commit pipeline relies on
+// when a failed batch sync must unwind every member (and anything
+// applied on top) in reverse apply order. nil entries are skipped; the
+// first failing undo aborts the unwind, since later (older) closures
+// can no longer trust the state.
+func ComposeUndo(undos ...func() error) func() error {
+	return func() error {
+		for i := len(undos) - 1; i >= 0; i-- {
+			if undos[i] == nil {
+				continue
+			}
+			if err := undos[i](); err != nil {
+				return fmt.Errorf("txn: batch rollback at member %d: %v", i, err)
+			}
+		}
+		return nil
+	}
+}
+
 // ApplyNormalized applies a pre-normalized update.
 func (a *Applier) ApplyNormalized(d *dirtree.Directory, norm *Normalized) (*core.Report, error) {
 	r, _, err := a.applyNormalized(d, norm)

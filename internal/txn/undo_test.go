@@ -1,6 +1,8 @@
 package txn
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"boundschema/internal/core"
@@ -82,3 +84,66 @@ func TestApplyWithUndo(t *testing.T) {
 		t.Errorf("undo handle returned for a rejected transaction")
 	}
 }
+
+// TestComposeUndo exercises the batch-rollback primitive behind group
+// commit: several applied transactions must unwind newest-first back to
+// the exact pre-batch state, and a member's failure must surface with
+// its position.
+func TestComposeUndo(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	d := workload.WhitePagesInstance(s)
+	a := NewApplier(s)
+	a.Counts = NewCountIndex(d)
+	before := d.String()
+
+	// Three dependent transactions: later ones build on earlier ones, so
+	// any unwind order other than newest-first would fail.
+	var undos []func() error
+	tx1 := &Transaction{}
+	tx1.Add("ou=batch,ou=attLabs,o=att", []string{"orgUnit", "orgGroup", "top"}, nil)
+	tx1.Add("uid=b1,ou=batch,ou=attLabs,o=att", []string{"person", "top"}, person("b1"))
+	tx2 := &Transaction{}
+	tx2.Add("uid=b2,ou=batch,ou=attLabs,o=att", []string{"person", "top"}, person("b2"))
+	tx3 := &Transaction{}
+	tx3.Move("ou=batch,ou=attLabs,o=att", "o=att")
+	for i, tx := range []*Transaction{tx1, tx2, tx3} {
+		r, undo, err := a.ApplyWithUndo(d, tx)
+		if err != nil || !r.Legal() {
+			t.Fatalf("member %d: err=%v report=%s", i, err, r)
+		}
+		undos = append(undos, undo)
+	}
+
+	if err := ComposeUndo(undos...)(); err != nil {
+		t.Fatalf("composed undo: %v", err)
+	}
+	if got := d.String(); got != before {
+		t.Errorf("composed undo did not restore the instance:\n--- before\n%s\n--- after\n%s", before, got)
+	}
+	if rep := core.NewChecker(s).Check(d); !rep.Legal() {
+		t.Fatalf("instance illegal after composed undo:\n%s", rep)
+	}
+
+	// nil members (transactions with nothing to undo) are skipped.
+	if err := ComposeUndo(nil, nil)(); err != nil {
+		t.Errorf("composed undo over nils: %v", err)
+	}
+
+	// A failing member stops the unwind and reports its index.
+	calls := []int{}
+	boom := ComposeUndo(
+		func() error { calls = append(calls, 0); return nil },
+		func() error { calls = append(calls, 1); return errBoom },
+		func() error { calls = append(calls, 2); return nil },
+	)
+	err := boom()
+	if err == nil || !strings.Contains(err.Error(), "member 1") {
+		t.Errorf("composed undo failure = %v, want member 1 reported", err)
+	}
+	// Newest-first: member 2 ran, member 1 failed, member 0 never ran.
+	if len(calls) != 2 || calls[0] != 2 || calls[1] != 1 {
+		t.Errorf("unwind order = %v, want [2 1]", calls)
+	}
+}
+
+var errBoom = errors.New("boom")
