@@ -26,6 +26,7 @@
 //	e12 Section 7 future work: schema-aided query optimization
 //	e13 parallel legality engine: sequential vs sharded Check
 //	e16 group commit: batched vs per-transaction journal fsync
+//	e17 crash recovery: cold-start cost vs journal length
 package main
 
 import (
@@ -39,6 +40,7 @@ var (
 	parallel = flag.Int("parallel", 0, "extra worker count for e13 (0 = GOMAXPROCS sweep only)")
 	jsonOut  = flag.String("json", "", "write e13 results as JSON to this file")
 	jsonE16  = flag.String("json-e16", "", "write e16 results as JSON to this file")
+	jsonE17  = flag.String("json-e17", "", "write e17 results as JSON to this file")
 )
 
 type experiment struct {
@@ -66,10 +68,11 @@ func main() {
 		// e14/e15 live in EXPERIMENTS.md as Go benchmarks; the id here
 		// matches the doc's section number.
 		{"e16", "Group commit: batched vs per-transaction journal fsync", runE16},
+		{"e17", "Crash recovery: cold-start cost vs journal length", runE17},
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: bsbench [-quick] all | e1 ... e13 | e16")
+		fmt.Fprintln(os.Stderr, "usage: bsbench [-quick] all | e1 ... e13 | e16 | e17")
 		os.Exit(2)
 	}
 	want := make(map[string]bool)

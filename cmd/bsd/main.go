@@ -9,7 +9,13 @@
 //	    [-snapshot out.ldif] [-journal changes.ldif] [-parallel N]
 //	    [-read-timeout 0] [-idle-timeout 0] [-max-conns 0]
 //	    [-drain-timeout 1s] [-journal-rotate 0] [-metrics-addr host:port]
-//	    [-group-commit=true] [-commit-delay 0]
+//	    [-group-commit=true] [-commit-delay 0] [-fsck]
+//
+// With -fsck the server does not serve: it runs the crash-recovery
+// pipeline over -journal (validate record checksums and sequence
+// continuity, truncate a torn tail, quarantine corruption, prove the
+// recovered instance legal), prints the report, and exits 0 if the
+// journal is servable, 1 if it was refused.
 //
 // Protocol (line-oriented over TCP; every response ends with OK, ILLEGAL
 // or ERR). DNs may contain spaces: SEARCH's base= takes the rest of the
@@ -26,7 +32,7 @@
 //	DELETE uid=old,ou=eng,o=corp
 //	MOVE ou=eng,o=corp -> o=corp
 //	COMMIT
-//	CHECK | CONSISTENT | SCHEMA | STAT | METRICS | SNAPSHOT | QUIT
+//	CHECK | CONSISTENT | SCHEMA | STAT | METRICS | SNAPSHOT | VERIFY | QUIT
 package main
 
 import (
@@ -60,6 +66,7 @@ func main() {
 	groupCommit := flag.Bool("group-commit", true, "batch concurrent COMMITs into one journal fsync (off = one fsync per transaction)")
 	commitDelay := flag.Duration("commit-delay", 0, "extra wait before each journal fsync so more commits join the batch (0 = none)")
 	metricsAddr := flag.String("metrics-addr", "", "serve expvar metrics over HTTP on this address (empty = off)")
+	fsck := flag.Bool("fsck", false, "check and repair the -journal (truncate torn tail, quarantine corruption), print a report, and exit")
 	flag.Parse()
 	if *schemaPath == "" {
 		fmt.Fprintln(os.Stderr, "bsd: -schema is required")
@@ -107,6 +114,21 @@ func main() {
 	srv.SetJournalRotation(*journalRotate)
 	srv.SetGroupCommit(*groupCommit)
 	srv.SetCommitDelay(*commitDelay)
+	if *fsck {
+		if *journal == "" {
+			fmt.Fprintln(os.Stderr, "bsd: -fsck requires -journal")
+			os.Exit(2)
+		}
+		rep, err := srv.Fsck(*journal)
+		for _, l := range rep.Lines() {
+			fmt.Println(l)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bsd: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *journal != "" {
 		if err := srv.OpenJournal(*journal); err != nil {
 			fatal(err)

@@ -55,10 +55,10 @@ type committer struct {
 	srv   *Server
 	delay time.Duration // extra window to accumulate a batch (0 = none)
 
-	mu      sync.Mutex
-	staged  []*commitReq // apply-ordered; appended under srv.mu
-	rotates []chan error // pending SNAPSHOT requests
-	lastSeq uint64
+	mu       sync.Mutex
+	staged   []*commitReq  // apply-ordered; appended under srv.mu
+	quiesces []*quiesceReq // pending SNAPSHOT/VERIFY requests
+	lastSeq  uint64
 
 	wake     chan struct{} // buffered(1) doorbell
 	quit     chan struct{}
@@ -100,15 +100,25 @@ func (c *committer) stage(r *commitReq) {
 	c.ring()
 }
 
-// requestRotate enqueues a SNAPSHOT compaction and returns its reply
-// channel. Called without srv.mu.
-func (c *committer) requestRotate() chan error {
-	done := make(chan error, 1)
+// quiesceReq is work that must run at a quiescent point — staged queue
+// empty under srv.mu, so the in-memory instance equals the durable
+// state and no journal append is in flight. SNAPSHOT rotation and
+// VERIFY both ride this queue.
+type quiesceReq struct {
+	fn   func() error // runs under srv.mu at the quiescent point
+	done chan error
+}
+
+// requestQuiesce enqueues fn for the committer's next quiescent point
+// and returns the channel its result lands on. Called without srv.mu
+// held by the waiter (the committer's failure path needs the lock).
+func (c *committer) requestQuiesce(fn func() error) chan error {
+	q := &quiesceReq{fn: fn, done: make(chan error, 1)}
 	c.mu.Lock()
-	c.rotates = append(c.rotates, done)
+	c.quiesces = append(c.quiesces, q)
 	c.mu.Unlock()
 	c.ring()
-	return done
+	return q.done
 }
 
 func (c *committer) ring() {
@@ -132,12 +142,12 @@ func (c *committer) stagedEmpty() bool {
 	return len(c.staged) == 0
 }
 
-func (c *committer) takeRotates() []chan error {
+func (c *committer) takeQuiesces() []*quiesceReq {
 	c.mu.Lock()
-	rot := c.rotates
-	c.rotates = nil
+	qs := c.quiesces
+	c.quiesces = nil
 	c.mu.Unlock()
-	return rot
+	return qs
 }
 
 func (c *committer) loop() {
@@ -157,27 +167,27 @@ func (c *committer) loop() {
 		if batch := c.takeStaged(); len(batch) > 0 {
 			c.commitBatch(batch)
 		}
-		if rot := c.takeRotates(); len(rot) > 0 {
-			c.rotate(rot)
+		if qs := c.takeQuiesces(); len(qs) > 0 {
+			c.quiesce(qs)
 		}
 		c.maybeAutoRotate()
 	}
 }
 
 // drain flushes everything staged at shutdown so no session is left
-// waiting on a reply. Pending rotations are refused.
+// waiting on a reply. Pending quiesce work (SNAPSHOT, VERIFY) is refused.
 func (c *committer) drain() {
 	for {
 		batch := c.takeStaged()
-		rot := c.takeRotates()
-		if len(batch) == 0 && len(rot) == 0 {
+		qs := c.takeQuiesces()
+		if len(batch) == 0 && len(qs) == 0 {
 			return
 		}
 		if len(batch) > 0 {
 			c.commitBatch(batch)
 		}
-		for _, w := range rot {
-			w <- errors.New("server shutting down")
+		for _, q := range qs {
+			q.done <- errors.New("server shutting down")
 		}
 	}
 }
@@ -232,6 +242,16 @@ func (c *committer) failBatch(batch []*commitReq, err error) {
 		s.logf("server: %s", s.readOnly)
 	}
 	s.dir.EnsureEncoded()
+	// Reclaim the failed transactions' sequence numbers: none of them
+	// reached the disk, and leaving a gap would make a later restart read
+	// the journal's seq run as broken. Safe under s.mu — staging requires
+	// the same lock, so nothing can interleave a new assignment.
+	if len(all) > 0 {
+		s.commitSeq = all[0].seq - 1
+		c.mu.Lock()
+		c.lastSeq = s.commitSeq
+		c.mu.Unlock()
+	}
 	if terr := j.f.Truncate(j.size); terr != nil {
 		j.failed = true
 		s.readOnly = fmt.Sprintf("journal %s unrecoverable after failed write (%v; truncate: %v)", j.path, err, terr)
@@ -243,13 +263,13 @@ func (c *committer) failBatch(batch []*commitReq, err error) {
 	}
 }
 
-// rotate serves SNAPSHOT requests. Compaction must only run when the
-// in-memory instance equals the durable state, otherwise the snapshot
-// would contain staged-but-unsynced transactions that the journal later
-// replays again. Holding the write lock freezes staging, so "staged
-// queue empty under srv.mu" is exactly that quiescent point; any backlog
-// is flushed first.
-func (c *committer) rotate(waiters []chan error) {
+// quiesce serves SNAPSHOT and VERIFY requests. Both must only run when
+// the in-memory instance equals the durable state — a snapshot taken
+// earlier would contain staged-but-unsynced transactions the journal
+// later replays again, and a verify would find the unsynced tail.
+// Holding the write lock freezes staging, so "staged queue empty under
+// srv.mu" is exactly that quiescent point; any backlog is flushed first.
+func (c *committer) quiesce(reqs []*quiesceReq) {
 	s := c.srv
 	for {
 		s.mu.Lock()
@@ -261,16 +281,10 @@ func (c *committer) rotate(waiters []chan error) {
 			c.commitBatch(batch)
 		}
 	}
-	var err error
-	if s.readOnly != "" {
-		err = errors.New("server is read-only: " + s.readOnly)
-	} else {
-		err = s.rotateJournal()
+	for _, q := range reqs {
+		q.done <- q.fn()
 	}
 	s.mu.Unlock()
-	for _, w := range waiters {
-		w <- err
-	}
 }
 
 // maybeAutoRotate applies the size-threshold rotation rule after a

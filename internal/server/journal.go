@@ -5,11 +5,11 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"os"
 	"time"
 
 	"boundschema/internal/ldif"
 	"boundschema/internal/txn"
+	"boundschema/internal/vfs"
 )
 
 // This file is the durable-commit path. The contract the protocol
@@ -21,13 +21,18 @@ import (
 // to a consistent prefix (or the rollback fails), the server degrades to
 // read-only rather than serve state it cannot re-create after a restart.
 //
+// Every record carries a checksummed, sequence-numbered marker (see
+// recover.go for the format and the recovery pipeline that validates
+// it). All file I/O goes through the server's vfs.FS so tests can crash
+// the "disk" at any operation and replay recovery.
+//
 // Long-lived servers compact with snapshot rotation: once the journal
 // exceeds the configured threshold, the instance is written to
-// <journal>.snapshot and the journal truncated. OpenJournal loads the
+// <journal>.snapshot and the journal truncated. Recovery loads the
 // snapshot (when present) before replaying the journal, so replay cost is
 // bounded by the rotation threshold instead of the server's lifetime.
 
-// journalFile is the subset of *os.File the journal needs; tests inject
+// journalFile is the subset of vfs.File the journal needs; tests inject
 // failing implementations to exercise the non-durable-commit paths.
 type journalFile interface {
 	io.Writer
@@ -62,117 +67,48 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// commitMarker terminates each transaction's change records in the
-// journal. It is an LDIF comment, so generic LDIF tooling (and our own
-// Reader) ignores it; replay uses it to re-group records into the
-// transactions that were actually committed, because a multi-record
-// transaction may only be legal atomically (ADD an orgGroup and its
-// first person together). The marker is written in the same journal
-// append as the records and fsynced before the COMMIT answers OK, so
-// on restart an unterminated tail is exactly an unacknowledged torn
-// write — safe to discard.
-const commitMarker = "# commit\n"
-
-// OpenJournal prepares the durable state at path: it loads the compacted
-// snapshot <path>.snapshot when one exists (replacing the initial
-// instance), replays any committed transactions recorded in path on top,
-// then appends every future successful COMMIT to it as LDIF change
+// OpenJournal prepares the durable state at path by running the full
+// recovery pipeline (recover.go): load the compacted snapshot
+// <path>.snapshot when one exists, scan the journal validating record
+// checksums and sequence continuity, truncate a torn tail, quarantine
+// corruption (refusing to serve), replay the committed transactions, and
+// prove the recovered instance legal before accepting connections. Every
+// future successful COMMIT is then appended as checksummed LDIF change
 // records — so a restart with the same arguments reproduces the state.
 func (s *Server) OpenJournal(path string) error {
-	snapPath := path + ".snapshot"
-	if f, err := os.Open(snapPath); err == nil {
-		d, rerr := ldif.ReadDirectory(f, s.schema.Registry)
-		f.Close()
-		if rerr != nil {
-			return fmt.Errorf("server: snapshot %s: %v", snapPath, rerr)
-		}
-		if r := s.checker.Check(d); !r.Legal() {
-			return fmt.Errorf("server: snapshot %s is illegal:\n%s", snapPath, r)
-		}
-		s.mu.Lock()
-		s.dir = d
-		s.dir.EnsureEncoded()
-		s.applier.Counts = txn.NewCountIndex(d)
-		s.mu.Unlock()
-	} else if !os.IsNotExist(err) {
-		return err
-	}
-	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		return err
-	}
-	torn := 0
-	if len(data) > 0 {
-		var txns [][]*ldif.Record
-		if !bytes.Contains(data, []byte(commitMarker)) {
-			// Legacy journal (no markers): every record was committed
-			// on its own, so replay one transaction per record.
-			recs, rerr := ldif.NewReader(bytes.NewReader(data)).ReadAll()
-			if rerr != nil {
-				return fmt.Errorf("server: journal %s: %v", path, rerr)
-			}
-			for _, rec := range recs {
-				txns = append(txns, []*ldif.Record{rec})
-			}
-		} else {
-			// Marker-terminated journal: records between markers are one
-			// atomic transaction. Bytes after the last marker were never
-			// acknowledged (the marker lands before the fsync that
-			// precedes OK), so a torn tail is discarded, not replayed.
-			valid := data
-			if idx := bytes.LastIndex(data, []byte(commitMarker)); idx >= 0 {
-				valid = data[:idx+len(commitMarker)]
-				torn = len(data) - len(valid)
-			}
-			for _, seg := range bytes.Split(valid, []byte(commitMarker)) {
-				if len(bytes.TrimSpace(seg)) == 0 {
-					continue
-				}
-				recs, rerr := ldif.NewReader(bytes.NewReader(seg)).ReadAll()
-				if rerr != nil {
-					return fmt.Errorf("server: journal %s: %v", path, rerr)
-				}
-				txns = append(txns, recs)
-			}
-		}
-		for _, recs := range txns {
-			tx, terr := txn.FromRecords(recs, s.schema.Registry)
-			if terr != nil {
-				return fmt.Errorf("server: journal %s: %v", path, terr)
-			}
-			s.mu.Lock()
-			report, aerr := s.applier.Apply(s.dir, tx)
-			s.dir.EnsureEncoded() // keep readers free of the lazy re-encode
-			s.mu.Unlock()
-			if aerr != nil {
-				return fmt.Errorf("server: journal %s replay: %v", path, aerr)
-			}
-			if !report.Legal() {
-				return fmt.Errorf("server: journal %s replay rejected:\n%s", path, report)
-			}
-		}
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	rep, err := s.recoverJournal(path)
+	s.metrics.noteRecovery(rep)
 	if err != nil {
 		return err
 	}
-	size := int64(len(data))
-	if torn > 0 {
-		// Drop the unacknowledged tail so future appends extend a clean
-		// prefix of committed transactions.
-		size -= int64(torn)
-		if terr := f.Truncate(size); terr != nil {
-			f.Close()
-			return fmt.Errorf("server: journal %s: truncating torn tail: %v", path, terr)
-		}
-		s.logf("journal %s: discarded %d bytes of unacknowledged torn tail", path, torn)
-	}
-	s.journal = &journal{path: path, snapPath: snapPath, f: f, size: size}
-	s.metrics.JournalBytes.Store(size)
 	if s.groupCommit {
 		s.startCommitter()
 	}
 	return nil
+}
+
+// Rotate compacts the open journal into its snapshot immediately — the
+// programmatic equivalent of the SNAPSHOT protocol command.
+func (s *Server) Rotate() error {
+	s.mu.Lock()
+	if s.journal == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("no journal configured")
+	}
+	if s.readOnly != "" {
+		reason := s.readOnly
+		s.mu.Unlock()
+		return fmt.Errorf("server is read-only: %s", reason)
+	}
+	c := s.committer
+	if c == nil {
+		err := s.rotateJournal()
+		s.mu.Unlock()
+		return err
+	}
+	done := c.requestQuiesce(s.rotateJournal)
+	s.mu.Unlock()
+	return <-done
 }
 
 // syncJournal fsyncs the journal file, first honouring the artificial
@@ -185,18 +121,22 @@ func (s *Server) syncJournal() error {
 	return s.journal.f.Sync()
 }
 
-// appendCommit durably records a committed transaction (write + fsync).
-// The per-transaction path, used when group commit is off; called with
-// s.mu held. On failure it truncates any torn record so the on-disk
-// journal stays an exact prefix of acknowledged commits; if even that
-// fails, the server degrades to read-only.
+// appendCommit durably records a committed transaction (write + fsync)
+// under the next sequence number. The per-transaction path, used when
+// group commit is off; called with s.mu held. On failure it truncates
+// any torn record so the on-disk journal stays an exact prefix of
+// acknowledged commits (and the sequence number is not consumed); if
+// even that fails, the server degrades to read-only.
 func (s *Server) appendCommit(tx *txn.Transaction) error {
 	j := s.journal
-	cw := &countingWriter{w: j.f}
-	err := tx.WriteChanges(cw)
-	if err == nil {
-		_, err = cw.Write([]byte(commitMarker))
+	var buf bytes.Buffer
+	if err := tx.WriteChanges(&buf); err != nil {
+		return err // nothing reached the disk
 	}
+	seq := s.commitSeq + 1
+	buf.WriteString(commitMarkerLine(seq, buf.Bytes()))
+	cw := &countingWriter{w: j.f}
+	_, err := cw.Write(buf.Bytes())
 	if err == nil {
 		err = s.syncJournal()
 	}
@@ -209,6 +149,7 @@ func (s *Server) appendCommit(tx *txn.Transaction) error {
 		}
 		return err
 	}
+	s.commitSeq = seq
 	j.size += cw.n
 	s.metrics.JournalBytes.Store(j.size)
 	s.metrics.noteBatch(1) // per-transaction mode: every fsync carries one commit
@@ -224,22 +165,24 @@ func (s *Server) appendCommit(tx *txn.Transaction) error {
 }
 
 // rotateJournal compacts the durable state: the current instance is
-// written to the snapshot sidecar (write + fsync + atomic rename) and the
-// journal truncated to empty. Called with s.mu held.
+// written to the snapshot sidecar (write + fsync + atomic rename + parent
+// directory fsync — rename alone is not durable) and the journal
+// truncated to empty. Called with s.mu held.
 //
-// Crash window: a crash exactly between the snapshot rename and the
-// journal truncate leaves the journal holding transactions the snapshot
-// already contains. Replay then fails loudly in OpenJournal (re-adding an
-// existing entry is an error) instead of silently serving a corrupted
-// instance; the operator recovers by clearing the journal.
+// The snapshot records the sequence number it compacted through in a
+// "# snapshot-seq" header, so a crash anywhere in this function —
+// including between the rename and the truncate — recovers cleanly:
+// journal records the snapshot already contains are recognized by their
+// seq numbers and skipped on replay instead of failing it.
 func (s *Server) rotateJournal() error {
 	j := s.journal
 	tmp := j.snapPath + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := s.fs.Create(tmp)
 	if err != nil {
 		return err
 	}
 	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "%s%d\n", snapshotSeqPrefix, s.commitSeq)
 	err = ldif.WriteDirectory(w, s.dir)
 	if err == nil {
 		err = w.Flush()
@@ -251,14 +194,21 @@ func (s *Server) rotateJournal() error {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, j.snapPath)
+		err = s.fs.Rename(tmp, j.snapPath)
 	}
 	if err != nil {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return err
 	}
+	if err := s.fs.SyncDir(vfs.DirOf(j.snapPath)); err != nil {
+		// The rename may not survive a crash, but the journal is intact:
+		// rotation simply retries later.
+		return fmt.Errorf("snapshot %s: parent directory sync after rename: %v", j.snapPath, err)
+	}
 	if err := j.f.Truncate(0); err != nil {
-		// The snapshot and the journal now overlap; refuse further writes.
+		// The journal still overlaps the snapshot; that is now benign
+		// (replay skips seq ≤ snapshot-seq) but the truncate failure means
+		// the file cannot be trusted for future appends.
 		j.failed = true
 		s.readOnly = fmt.Sprintf("journal %s not truncated after snapshot (%v)", j.path, err)
 		s.logf("journal: %s", s.readOnly)

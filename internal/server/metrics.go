@@ -103,7 +103,7 @@ type cmdStats struct {
 var protocolCommands = []string{
 	"SEARCH", "QUERY", "GET", "BEGIN", "ADD", "DELETE", "MOVE", "COMMIT",
 	"ABORT", "CHECK", "CONSISTENT", "SCHEMA", "STAT", "METRICS", "SNAPSHOT",
-	"QUIT", "UNKNOWN",
+	"VERIFY", "QUIT", "UNKNOWN",
 }
 
 // nViolationKinds sizes the per-kind violation counters; the kinds are a
@@ -134,6 +134,16 @@ type Metrics struct {
 	JournalBytes     atomic.Int64 // gauge: live journal size
 	JournalRotations atomic.Int64
 	JournalErrors    atomic.Int64
+
+	// Recovery: what OpenJournal's startup pass found. Set once per
+	// process (recRan flips to 1); recClean is a gauge — 1 means the last
+	// recovery neither truncated nor quarantined anything.
+	recRan         atomic.Int64
+	recScanned     atomic.Int64 // journal_records_scanned
+	recTruncated   atomic.Int64 // journal_records_truncated
+	recQuarantined atomic.Int64 // journal_records_quarantined
+	recLegalityMs  atomic.Int64 // recovery_legality_ms
+	recClean       atomic.Int64 // recovery_clean gauge
 
 	// Group commit: one observation per fsync, valued at how many
 	// commits that sync made durable. count = fsyncs, sum = commits, so
@@ -170,6 +180,24 @@ func (m *Metrics) observeCommand(cmd string, d time.Duration, failed bool) {
 	st.hist.observe(d)
 	if failed {
 		st.errs.Add(1)
+	}
+}
+
+// noteRecovery publishes the startup recovery pass's outcome. Called by
+// OpenJournal with whatever report recovery produced, even on refusal.
+func (m *Metrics) noteRecovery(r *RecoveryReport) {
+	if r == nil {
+		return
+	}
+	m.recRan.Store(1)
+	m.recScanned.Store(int64(r.RecordsScanned + r.LegacyRecords))
+	m.recTruncated.Store(int64(r.RecordsTruncated))
+	m.recQuarantined.Store(int64(r.RecordsQuarantined))
+	m.recLegalityMs.Store(r.LegalityMs)
+	if r.Clean {
+		m.recClean.Store(1)
+	} else {
+		m.recClean.Store(0)
 	}
 }
 
@@ -236,6 +264,12 @@ func (m *Metrics) lines(journalOn bool, readOnly string) []string {
 		}
 	} else {
 		out = append(out, "journal: off")
+	}
+	if m.recRan.Load() == 1 {
+		out = append(out, fmt.Sprintf(
+			"recovery: journal_records_scanned=%d journal_records_truncated=%d journal_records_quarantined=%d recovery_legality_ms=%d recovery_clean=%d",
+			m.recScanned.Load(), m.recTruncated.Load(), m.recQuarantined.Load(),
+			m.recLegalityMs.Load(), m.recClean.Load()))
 	}
 	if readOnly != "" {
 		out = append(out, "read_only: "+readOnly)
@@ -321,6 +355,15 @@ func (m *Metrics) snapshot(journalOn bool, readOnly string) map[string]any {
 			jm["p99_batch"] = m.batchSizes.quantile(0.99)
 		}
 		out["journal"] = jm
+	}
+	if m.recRan.Load() == 1 {
+		out["recovery"] = map[string]int64{
+			"journal_records_scanned":     m.recScanned.Load(),
+			"journal_records_truncated":   m.recTruncated.Load(),
+			"journal_records_quarantined": m.recQuarantined.Load(),
+			"recovery_legality_ms":        m.recLegalityMs.Load(),
+			"recovery_clean":              m.recClean.Load(),
+		}
 	}
 	if readOnly != "" {
 		out["read_only"] = readOnly

@@ -1,0 +1,554 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	iofs "io/fs"
+	"time"
+
+	"boundschema/internal/ldif"
+	"boundschema/internal/txn"
+	"boundschema/internal/vfs"
+)
+
+// This file is the crash-recovery pipeline: the journal scanner that
+// validates checksums and sequence continuity, the verdict logic that
+// separates a torn tail (the unacknowledged end of a crashed append —
+// safe to truncate) from mid-log corruption (acknowledged data that no
+// longer matches its checksum — never safe to guess about, so the
+// journal is quarantined and the server refuses to start), and the
+// recovery driver OpenJournal, `bsd -fsck` and the VERIFY protocol
+// command share.
+//
+// Journal record format. Every committed transaction is one append of
+//
+//	<LDIF change records…>
+//	# commit seq=<n> len=<payload bytes> crc=<crc32c, 8 hex digits>
+//
+// The marker line is an LDIF comment, so generic LDIF tooling ignores
+// it. seq increases by exactly one per commit (continuing across
+// snapshot rotations), len is the byte length of the records above the
+// marker, and crc is their CRC32C. Because each append lands data
+// before its marker, a complete marker whose payload fails verification
+// cannot be a torn write — it is corruption. Two legacy formats still
+// replay: bare "# commit" markers (no verification, continuity tracking
+// re-bases at the next checksummed marker) and fully headerless
+// journals (one transaction per record).
+//
+// Snapshots carry their own continuity header: rotation writes
+// "# snapshot-seq <n>" as the first line, so a crash between the
+// snapshot rename and the journal truncate no longer poisons restart —
+// replay simply skips journal records with seq ≤ n instead of failing
+// on re-applied transactions.
+
+const (
+	commitMarkerPrefix = "# commit"
+	snapshotSeqPrefix  = "# snapshot-seq "
+)
+
+var crc32cTable = crc32.MakeTable(crc32.Castagnoli)
+
+// commitMarkerLine renders the checksummed marker terminating a
+// transaction's journal payload.
+func commitMarkerLine(seq uint64, payload []byte) string {
+	return fmt.Sprintf("%s seq=%d len=%d crc=%08x\n",
+		commitMarkerPrefix, seq, len(payload), crc32.Checksum(payload, crc32cTable))
+}
+
+// journalTxn is one scanned transaction: the payload bytes of its LDIF
+// change records plus the marker header that vouched for them. seq is 0
+// for legacy records (bare marker or headerless journal).
+type journalTxn struct {
+	seq     uint64
+	payload []byte
+	legacy  bool
+}
+
+// scanResult is the outcome of walking a journal byte-for-byte without
+// applying anything.
+type scanResult struct {
+	txns       []journalTxn
+	verified   int    // records whose checksummed marker validated
+	legacy     int    // records accepted without verification
+	headerless bool   // no markers at all: one transaction per record
+	prefix     []byte // headerless records preceding the first marker
+	// (a journal upgraded in place: the first checksummed marker covers
+	// only its own payload, so the bytes before it are pre-marker
+	// history, replayed one transaction per record)
+	tornBytes  int64  // unacknowledged tail after the last complete marker
+	lastSeq    uint64 // highest verified sequence number
+	firstSeq   uint64 // first verified sequence number (0 if none)
+
+	corrupt       bool
+	corruptReason string
+	corruptRecord int // 1-based record index of the first corruption
+	afterCorrupt  int // complete records from the corruption onward
+}
+
+// parseMarker decodes a complete "# commit…" line. legacy is true for
+// the bare pre-checksum marker; err means the line claims to be a
+// marker but its fields do not parse — a damaged marker, which is
+// corruption, not a tear, because the line is complete.
+func parseMarker(line []byte) (seq uint64, length int64, crc uint32, legacy bool, err error) {
+	rest := line[len(commitMarkerPrefix):]
+	if len(rest) == 0 {
+		return 0, 0, 0, true, nil
+	}
+	if rest[0] != ' ' {
+		return 0, 0, 0, false, fmt.Errorf("damaged marker %q", line)
+	}
+	n, serr := fmt.Sscanf(string(rest), " seq=%d len=%d crc=%x", &seq, &length, &crc)
+	if serr != nil || n != 3 || seq == 0 {
+		return 0, 0, 0, false, fmt.Errorf("damaged marker %q", line)
+	}
+	return seq, length, crc, false, nil
+}
+
+func isMarkerLine(line []byte) bool {
+	return bytes.HasPrefix(line, []byte(commitMarkerPrefix))
+}
+
+// scanJournal walks the journal and classifies every byte: verified
+// records, legacy records, a torn tail, or corruption. It never applies
+// or decodes LDIF — that is replay's job, after the verdict.
+func scanJournal(data []byte) *scanResult {
+	sr := &scanResult{}
+	if len(data) == 0 {
+		return sr
+	}
+	if !bytes.Contains(data, []byte(commitMarkerPrefix)) {
+		sr.headerless = true
+		return sr
+	}
+	var (
+		pos, segStart int
+		lastComplete  int    // offset just past the last complete marker
+		expect        uint64 // next expected seq; 0 = unknown (start or after legacy)
+		record        int    // 1-based index of the record being scanned
+	)
+	fail := func(reason string) {
+		sr.corrupt = true
+		sr.corruptReason = reason
+		sr.corruptRecord = record
+	}
+	for pos < len(data) {
+		nl := bytes.IndexByte(data[pos:], '\n')
+		if nl < 0 {
+			break // incomplete final line: part of the torn tail
+		}
+		line := data[pos : pos+nl]
+		lineEnd := pos + nl + 1
+		if !isMarkerLine(line) {
+			pos = lineEnd
+			continue
+		}
+		record++
+		if sr.corrupt {
+			// Verdict already reached; keep counting implicated records.
+			sr.afterCorrupt++
+			pos, segStart, lastComplete = lineEnd, lineEnd, lineEnd
+			continue
+		}
+		payload := data[segStart:pos]
+		seq, length, crc, legacy, err := parseMarker(line)
+		switch {
+		case err != nil:
+			fail(err.Error())
+		case legacy:
+			sr.txns = append(sr.txns, journalTxn{payload: payload, legacy: true})
+			sr.legacy++
+			expect = 0 // continuity unknown until the next checksummed marker
+		default:
+			if record == 1 && int64(len(payload)) > length {
+				// More bytes than the first marker vouches for: if the
+				// trailing `length` bytes check out, the rest is a
+				// headerless journal this server was upgraded over.
+				cut := len(payload) - int(length)
+				if crc32.Checksum(payload[cut:], crc32cTable) == crc {
+					sr.prefix = payload[:cut]
+					payload = payload[cut:]
+				}
+			}
+			switch {
+			case int64(len(payload)) != length:
+				fail(fmt.Sprintf("record seq=%d: payload is %d bytes, marker says %d", seq, len(payload), length))
+			case crc32.Checksum(payload, crc32cTable) != crc:
+				fail(fmt.Sprintf("record seq=%d: checksum mismatch (stored %08x, computed %08x)",
+					seq, crc, crc32.Checksum(payload, crc32cTable)))
+			case expect != 0 && seq != expect:
+				fail(fmt.Sprintf("sequence break: expected seq=%d, found seq=%d", expect, seq))
+			default:
+				sr.txns = append(sr.txns, journalTxn{seq: seq, payload: payload})
+				sr.verified++
+				if sr.firstSeq == 0 {
+					sr.firstSeq = seq
+				}
+				sr.lastSeq = seq
+				expect = seq + 1
+			}
+		}
+		if sr.corrupt {
+			sr.afterCorrupt++
+		}
+		pos, segStart, lastComplete = lineEnd, lineEnd, lineEnd
+	}
+	sr.tornBytes = int64(len(data) - lastComplete)
+	return sr
+}
+
+// RecoveryReport summarizes one pass of the recovery pipeline — what
+// OpenJournal did at startup, what `bsd -fsck` reports, and what the
+// recovery block of METRICS exposes.
+type RecoveryReport struct {
+	JournalPath        string `json:"journal"`
+	SnapshotLoaded     bool   `json:"snapshot_loaded"`
+	SnapshotSeq        uint64 `json:"snapshot_seq"`
+	RecordsScanned     int    `json:"records_scanned"`  // checksum-verified records
+	LegacyRecords      int    `json:"legacy_records"`   // replayed without verification
+	RecordsReplayed    int    `json:"records_replayed"` // transactions applied
+	RecordsSkipped     int    `json:"records_skipped"`  // seq ≤ snapshot seq: already compacted
+	TornBytes          int64  `json:"torn_bytes"`
+	RecordsTruncated   int    `json:"records_truncated"` // partial records dropped with the tail
+	RecordsQuarantined int    `json:"records_quarantined"`
+	Quarantined        bool   `json:"quarantined"`
+	QuarantinePath     string `json:"quarantine_path,omitempty"`
+	CorruptReason      string `json:"corrupt_reason,omitempty"`
+	LegalityMs         int64  `json:"legality_ms"`
+	Legal              bool   `json:"legal"`
+	Clean              bool   `json:"clean"` // nothing truncated, nothing quarantined
+}
+
+// Lines renders the report for humans (fsck output, VERIFY bodies).
+func (r *RecoveryReport) Lines() []string {
+	out := []string{
+		fmt.Sprintf("journal %s: scanned=%d legacy=%d replayed=%d skipped=%d",
+			r.JournalPath, r.RecordsScanned, r.LegacyRecords, r.RecordsReplayed, r.RecordsSkipped),
+	}
+	if r.SnapshotLoaded {
+		out = append(out, fmt.Sprintf("snapshot: loaded seq=%d", r.SnapshotSeq))
+	} else {
+		out = append(out, "snapshot: none")
+	}
+	if r.TornBytes > 0 {
+		out = append(out, fmt.Sprintf("torn tail: %d bytes (%d partial record) truncated", r.TornBytes, r.RecordsTruncated))
+	}
+	if r.Quarantined {
+		out = append(out, fmt.Sprintf("CORRUPT: %s", r.CorruptReason))
+		out = append(out, fmt.Sprintf("quarantined %d record(s) to %s; refusing to serve", r.RecordsQuarantined, r.QuarantinePath))
+	}
+	if r.Legal {
+		out = append(out, fmt.Sprintf("legality: instance legal (full check in %d ms)", r.LegalityMs))
+	} else if !r.Quarantined {
+		out = append(out, "legality: INSTANCE ILLEGAL")
+	}
+	if r.Clean {
+		out = append(out, "verdict: clean")
+	} else {
+		out = append(out, "verdict: not clean")
+	}
+	return out
+}
+
+// quarantine copies the untrusted journal bytes to <path>.quarantine
+// (durably: write + fsync + parent SyncDir) so the evidence survives
+// operator intervention, and returns the quarantine path.
+func (s *Server) quarantine(path string, data []byte) (string, error) {
+	qpath := path + ".quarantine"
+	f, err := s.fs.Create(qpath)
+	if err != nil {
+		return qpath, err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = s.fs.SyncDir(vfs.DirOf(qpath))
+	}
+	return qpath, err
+}
+
+// loadSnapshot reads and validates the snapshot sidecar, returning the
+// directory it holds and the sequence number it compacted through (0
+// for snapshots written before the header existed, or none).
+func (s *Server) loadSnapshot(snapPath string) (loaded bool, snapSeq uint64, err error) {
+	data, rerr := s.fs.ReadFile(snapPath)
+	if rerr != nil {
+		if errors.Is(rerr, iofs.ErrNotExist) {
+			return false, 0, nil
+		}
+		return false, 0, rerr
+	}
+	if rest, ok := bytes.CutPrefix(data, []byte(snapshotSeqPrefix)); ok {
+		if nl := bytes.IndexByte(rest, '\n'); nl >= 0 {
+			fmt.Sscanf(string(rest[:nl]), "%d", &snapSeq)
+		}
+	}
+	d, rerr := ldif.ReadDirectory(bytes.NewReader(data), s.schema.Registry)
+	if rerr != nil {
+		return false, 0, fmt.Errorf("server: snapshot %s: %v", snapPath, rerr)
+	}
+	if r := s.checker.Check(d); !r.Legal() {
+		return false, 0, fmt.Errorf("server: snapshot %s is illegal:\n%s", snapPath, r)
+	}
+	s.mu.Lock()
+	s.dir = d
+	s.dir.EnsureEncoded()
+	s.applier.Counts = txn.NewCountIndex(d)
+	s.mu.Unlock()
+	return true, snapSeq, nil
+}
+
+// recoverJournal runs the full recovery pipeline for path: load the
+// snapshot, scan the journal, quarantine corruption or truncate a torn
+// tail, replay, and prove the recovered instance legal with the full
+// checker. It leaves s.journal open for appending and s.commitSeq
+// continuing the on-disk sequence. The report is returned even when err
+// is non-nil, with as much detail as recovery established.
+func (s *Server) recoverJournal(path string) (*RecoveryReport, error) {
+	rep := &RecoveryReport{JournalPath: path}
+	snapPath := path + ".snapshot"
+
+	loaded, snapSeq, err := s.loadSnapshot(snapPath)
+	if err != nil {
+		return rep, err
+	}
+	rep.SnapshotLoaded, rep.SnapshotSeq = loaded, snapSeq
+
+	data, err := s.fs.ReadFile(path)
+	if err != nil && !errors.Is(err, iofs.ErrNotExist) {
+		return rep, err
+	}
+	sr := scanJournal(data)
+	rep.RecordsScanned = sr.verified
+	rep.LegacyRecords = sr.legacy
+	rep.TornBytes = sr.tornBytes
+	if sr.tornBytes > 0 {
+		rep.RecordsTruncated = 1
+	}
+
+	// Continuity across the snapshot boundary: the journal may begin at
+	// or before snapSeq+1 (rotation truncates, a crash mid-rotation does
+	// not), but a first record beyond snapSeq+1 means commits are missing.
+	if !sr.corrupt && snapSeq > 0 && sr.firstSeq > snapSeq+1 {
+		sr.corrupt = true
+		sr.corruptRecord = 1
+		sr.corruptReason = fmt.Sprintf("journal begins at seq=%d but snapshot compacted through seq=%d: records missing", sr.firstSeq, snapSeq)
+		sr.afterCorrupt = len(sr.txns)
+	}
+
+	quarantineNow := func(reason string, nRecords int) (*RecoveryReport, error) {
+		rep.Quarantined = true
+		rep.CorruptReason = reason
+		rep.RecordsQuarantined = nRecords
+		qpath, qerr := s.quarantine(path, data)
+		rep.QuarantinePath = qpath
+		if qerr != nil {
+			return rep, fmt.Errorf("server: journal %s: %s; quarantine to %s also failed: %v", path, reason, qpath, qerr)
+		}
+		s.logf("journal %s: %s; %d record(s) quarantined to %s", path, reason, nRecords, qpath)
+		return rep, fmt.Errorf("server: journal %s: %s; quarantined to %s — refusing to serve (inspect with bsd -fsck; move or delete the journal to start from the snapshot)", path, reason, qpath)
+	}
+	if sr.corrupt {
+		return quarantineNow(sr.corruptReason, sr.afterCorrupt)
+	}
+
+	// Decode into transactions. Headerless journals predate markers:
+	// every record was committed on its own.
+	type replayTxn struct {
+		recs []*ldif.Record
+		seq  uint64
+	}
+	var txns []replayTxn
+	if sr.headerless {
+		recs, rerr := ldif.NewReader(bytes.NewReader(data)).ReadAll()
+		if rerr != nil {
+			return quarantineNow(fmt.Sprintf("headerless journal undecodable: %v", rerr), 0)
+		}
+		rep.LegacyRecords = len(recs)
+		for _, rec := range recs {
+			txns = append(txns, replayTxn{recs: []*ldif.Record{rec}})
+		}
+	} else {
+		if len(sr.prefix) > 0 {
+			recs, rerr := ldif.NewReader(bytes.NewReader(sr.prefix)).ReadAll()
+			if rerr != nil {
+				return quarantineNow(fmt.Sprintf("pre-marker journal history undecodable: %v", rerr), 0)
+			}
+			rep.LegacyRecords += len(recs)
+			for _, rec := range recs {
+				txns = append(txns, replayTxn{recs: []*ldif.Record{rec}})
+			}
+		}
+		for i, jt := range sr.txns {
+			if len(bytes.TrimSpace(jt.payload)) == 0 {
+				continue
+			}
+			recs, rerr := ldif.NewReader(bytes.NewReader(jt.payload)).ReadAll()
+			if rerr != nil {
+				return quarantineNow(fmt.Sprintf("record %d (seq=%d) undecodable despite intact marker: %v", i+1, jt.seq, rerr), len(sr.txns)-i)
+			}
+			txns = append(txns, replayTxn{recs: recs, seq: jt.seq})
+		}
+	}
+
+	// Replay, skipping transactions the snapshot already contains (a
+	// crash between the snapshot rename and the journal truncate leaves
+	// them in the journal; their seq numbers say so).
+	lastSeq := snapSeq
+	for _, rt := range txns {
+		if rt.seq != 0 && rt.seq <= snapSeq {
+			rep.RecordsSkipped++
+			continue
+		}
+		tx, terr := txn.FromRecords(rt.recs, s.schema.Registry)
+		if terr != nil {
+			return rep, fmt.Errorf("server: journal %s: %v", path, terr)
+		}
+		s.mu.Lock()
+		report, aerr := s.applier.Apply(s.dir, tx)
+		s.dir.EnsureEncoded() // keep readers free of the lazy re-encode
+		s.mu.Unlock()
+		if aerr != nil {
+			return rep, fmt.Errorf("server: journal %s replay: %v", path, aerr)
+		}
+		if !report.Legal() {
+			return rep, fmt.Errorf("server: journal %s replay rejected:\n%s", path, report)
+		}
+		rep.RecordsReplayed++
+		if rt.seq != 0 {
+			lastSeq = rt.seq
+		} else {
+			lastSeq++ // legacy records advance the sequence implicitly
+		}
+	}
+
+	// The paper's invariant, end to end: recovery finishes by proving
+	// the whole replayed instance legal before the server serves it.
+	t0 := time.Now()
+	s.mu.RLock()
+	fullReport := s.checker.Check(s.dir)
+	s.mu.RUnlock()
+	rep.LegalityMs = time.Since(t0).Milliseconds()
+	rep.Legal = fullReport.Legal()
+	if !rep.Legal {
+		return rep, fmt.Errorf("server: journal %s: recovered instance fails the full legality check:\n%s", path, fullReport)
+	}
+
+	// Open for appending and drop the torn tail so future appends extend
+	// a clean prefix of committed transactions.
+	f, err := s.fs.OpenAppend(path)
+	if err != nil {
+		return rep, err
+	}
+	size := int64(len(data))
+	if sr.tornBytes > 0 {
+		size -= sr.tornBytes
+		err := f.Truncate(size)
+		if err == nil {
+			err = f.Sync()
+		}
+		if err != nil {
+			f.Close()
+			return rep, fmt.Errorf("server: journal %s: truncating torn tail: %v", path, err)
+		}
+		s.logf("journal %s: discarded %d bytes of unacknowledged torn tail (%d partial record)", path, sr.tornBytes, rep.RecordsTruncated)
+	}
+	rep.Clean = sr.tornBytes == 0 && !rep.Quarantined
+
+	s.mu.Lock()
+	s.journal = &journal{path: path, snapPath: snapPath, f: f, size: size}
+	s.commitSeq = lastSeq
+	s.mu.Unlock()
+	s.metrics.JournalBytes.Store(size)
+	return rep, nil
+}
+
+// Fsck runs the recovery pipeline for path without serving: the same
+// verdicts and repairs as startup — snapshot load, checksum and
+// sequence validation, torn-tail truncation, corruption quarantine,
+// full legality check — then closes the journal again. The report is
+// always returned; err non-nil means the journal was refused (and the
+// server would refuse to start on it too, until the quarantined file is
+// moved aside).
+func (s *Server) Fsck(path string) (*RecoveryReport, error) {
+	rep, err := s.recoverJournal(path)
+	s.metrics.noteRecovery(rep)
+	if err == nil {
+		s.mu.Lock()
+		j := s.journal
+		s.journal = nil
+		s.mu.Unlock()
+		if j != nil {
+			j.f.Close()
+		}
+	}
+	return rep, err
+}
+
+// verifyNow is the VERIFY protocol command's engine: re-scan the
+// on-disk journal against its checksums and sequence numbers, then run
+// the full legality checker over the served instance. It must run at a
+// point where no journal append is in flight — under s.mu in
+// per-transaction mode, or at the committer's quiescent point in
+// group-commit mode (both of which the caller arranges).
+func (s *Server) verifyNow() ([]string, error) {
+	var lines []string
+	if s.journal != nil {
+		data, err := s.fs.ReadFile(s.journal.path)
+		if err != nil && !errors.Is(err, iofs.ErrNotExist) {
+			return lines, fmt.Errorf("journal unreadable: %v", err)
+		}
+		sr := scanJournal(data)
+		lines = append(lines, fmt.Sprintf("journal %s: bytes=%d records=%d legacy=%d last_seq=%d",
+			s.journal.path, len(data), sr.verified, sr.legacy, sr.lastSeq))
+		if sr.headerless {
+			lines = append(lines, "journal format: headerless (pre-checksum)")
+		}
+		if sr.corrupt {
+			return lines, fmt.Errorf("journal corrupt: %s", sr.corruptReason)
+		}
+		if sr.tornBytes > 0 {
+			return lines, fmt.Errorf("journal has %d torn bytes past the last marker", sr.tornBytes)
+		}
+		if _, snapSeq, err := s.peekSnapshotSeq(); err == nil {
+			lines = append(lines, fmt.Sprintf("snapshot: present seq=%d", snapSeq))
+		} else {
+			lines = append(lines, "snapshot: none")
+		}
+	} else {
+		lines = append(lines, "journal: off")
+	}
+	t0 := time.Now()
+	report := s.checker.Check(s.dir)
+	lines = append(lines, fmt.Sprintf("legality: checked in %d ms", time.Since(t0).Milliseconds()))
+	if !report.Legal() {
+		return lines, fmt.Errorf("served instance is illegal: %d violation(s)", len(report.Violations))
+	}
+	lines = append(lines, "verify: clean")
+	return lines, nil
+}
+
+// peekSnapshotSeq reports whether the snapshot sidecar exists and the
+// sequence number its header records, without loading the instance.
+func (s *Server) peekSnapshotSeq() (bool, uint64, error) {
+	if s.journal == nil {
+		return false, 0, errors.New("no journal")
+	}
+	data, err := s.fs.ReadFile(s.journal.snapPath)
+	if err != nil {
+		return false, 0, err
+	}
+	var seq uint64
+	if rest, ok := bytes.CutPrefix(data, []byte(snapshotSeqPrefix)); ok {
+		if nl := bytes.IndexByte(rest, '\n'); nl >= 0 {
+			fmt.Sscanf(string(rest[:nl]), "%d", &seq)
+		}
+	}
+	return true, seq, nil
+}

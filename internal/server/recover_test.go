@@ -1,0 +1,502 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"errors"
+
+	"boundschema/internal/dirtree"
+	"boundschema/internal/txn"
+	"boundschema/internal/vfs"
+	"boundschema/internal/workload"
+)
+
+// newFaultServer builds a whitepages server over the fault FS, without
+// a listener — the recovery tests drive it through CommitTx.
+func newFaultServer(t *testing.T, fault *vfs.Fault, groupCommit bool) *Server {
+	t.Helper()
+	s := workload.WhitePagesSchema()
+	srv, err := New(s, "whitepages", workload.WhitePagesInstance(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetFS(fault)
+	srv.SetGroupCommit(groupCommit)
+	return srv
+}
+
+// commitPerson commits one person entry through CommitTx.
+func commitPerson(t *testing.T, srv *Server, uid string) error {
+	t.Helper()
+	tx := &txn.Transaction{}
+	tx.Add("uid="+uid+",ou=attLabs,o=att", []string{"person", "top"},
+		map[string][]dirtree.Value{"name": {dirtree.String(uid)}})
+	rep, err := srv.CommitTx(tx)
+	if err != nil {
+		return err
+	}
+	if !rep.Legal() {
+		t.Fatalf("commit of %s rejected:\n%s", uid, rep)
+	}
+	return nil
+}
+
+// TestRecoveryBitFlipQuarantined is the acceptance case for mid-log
+// corruption: a silently flipped bit in an acknowledged record must be
+// caught by its checksum at the next startup, the journal quarantined,
+// and the server must refuse to start — on every attempt, not just the
+// first.
+func TestRecoveryBitFlipQuarantined(t *testing.T) {
+	fault := vfs.NewFault()
+	srv := newFaultServer(t, fault, false)
+	if err := srv.OpenJournal(crashJournalPath); err != nil {
+		t.Fatal(err)
+	}
+	// Per-transaction ops: OpenAppend=1, then commit i is Write=2i,
+	// Sync=2i+1. Flip a bit inside commit 2's record — mid-log once two
+	// more commits land after it.
+	fault.SetScript(vfs.FaultPoint{Op: 4, Kind: vfs.FaultBitFlip})
+	for _, uid := range []string{"p1", "p2", "p3", "p4"} {
+		if err := commitPerson(t, srv, uid); err != nil {
+			t.Fatalf("commit %s: %v (bit flips are silent)", uid, err)
+		}
+	}
+	srv.Close()
+
+	for attempt := 1; attempt <= 2; attempt++ {
+		srv2 := newFaultServer(t, fault, false)
+		err := srv2.OpenJournal(crashJournalPath)
+		if err == nil {
+			t.Fatalf("attempt %d: server started over a corrupt journal", attempt)
+		}
+		if !strings.Contains(err.Error(), "quarantined") || !strings.Contains(err.Error(), "refusing to serve") {
+			t.Fatalf("attempt %d: refusal does not explain itself: %v", attempt, err)
+		}
+	}
+	if _, err := fault.ReadFile(crashJournalPath + ".quarantine"); err != nil {
+		t.Fatalf("quarantine copy missing: %v", err)
+	}
+	// The original journal is preserved too — quarantine copies, the
+	// operator decides what to delete.
+	if _, err := fault.ReadFile(crashJournalPath); err != nil {
+		t.Fatalf("journal destroyed by quarantine: %v", err)
+	}
+}
+
+// TestRecoveryTornWriteTruncated: a torn final append (prefix reached
+// the platter, crash before the marker) is recognized as the
+// unacknowledged tail, truncated, and counted — and the journal keeps
+// accepting appends afterwards.
+func TestRecoveryTornWriteTruncated(t *testing.T) {
+	fault := vfs.NewFault()
+	srv := newFaultServer(t, fault, false)
+	if err := srv.OpenJournal(crashJournalPath); err != nil {
+		t.Fatal(err)
+	}
+	fault.SetScript(vfs.FaultPoint{Op: 6, Kind: vfs.FaultTornWrite}) // commit 3's write
+	var acked []string
+	for _, uid := range []string{"p1", "p2", "p3"} {
+		if err := commitPerson(t, srv, uid); err != nil {
+			break
+		}
+		acked = append(acked, uid)
+	}
+	if len(acked) != 2 {
+		t.Fatalf("acked %v, want exactly p1 p2 (p3's write tore)", acked)
+	}
+	fault.Recover()
+
+	srv2 := newFaultServer(t, fault, false)
+	if err := srv2.OpenJournal(crashJournalPath); err != nil {
+		t.Fatalf("recovery from a torn tail: %v", err)
+	}
+	defer srv2.Close()
+	for _, uid := range acked {
+		if srv2.dir.ByDN("uid="+uid+",ou=attLabs,o=att") == nil {
+			t.Errorf("acked entry %s lost", uid)
+		}
+	}
+	if srv2.dir.ByDN("uid=p3,ou=attLabs,o=att") != nil {
+		t.Errorf("torn, unacknowledged entry replayed")
+	}
+	if n := srv2.metrics.recTruncated.Load(); n != 1 {
+		t.Errorf("journal_records_truncated = %d, want 1", n)
+	}
+	if srv2.metrics.recClean.Load() != 0 {
+		t.Errorf("recovery_clean = 1 after a truncation")
+	}
+	// The log is clean again: append, restart, everything survives.
+	if err := commitPerson(t, srv2, "p5"); err != nil {
+		t.Fatalf("append after torn-tail recovery: %v", err)
+	}
+	srv2.Close()
+	srv3 := newFaultServer(t, fault, false)
+	if err := srv3.OpenJournal(crashJournalPath); err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	defer srv3.Close()
+	if srv3.metrics.recClean.Load() != 1 {
+		t.Errorf("recovery_clean = 0 after a clean restart")
+	}
+	for _, uid := range []string{"p1", "p2", "p5"} {
+		if srv3.dir.ByDN("uid="+uid+",ou=attLabs,o=att") == nil {
+			t.Errorf("entry %s lost across torn-tail recovery + append", uid)
+		}
+	}
+}
+
+// TestRecoveryHeaderlessUpgrade: a pre-marker (headerless) journal that
+// a current server appends checksummed records to must still replay in
+// full on the next restart — the scanner recognizes the pre-marker
+// prefix instead of calling it corruption.
+func TestRecoveryHeaderlessUpgrade(t *testing.T) {
+	fault := vfs.NewFault()
+	legacy := fmt.Sprintf(journaledAdd, "old1", "old1") + fmt.Sprintf(journaledAdd, "old2", "old2")
+	fault.WriteFile(crashJournalPath, []byte(legacy))
+
+	srv := newFaultServer(t, fault, false)
+	if err := srv.OpenJournal(crashJournalPath); err != nil {
+		t.Fatalf("headerless replay: %v", err)
+	}
+	if err := commitPerson(t, srv, "new1"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	srv2 := newFaultServer(t, fault, false)
+	if err := srv2.OpenJournal(crashJournalPath); err != nil {
+		t.Fatalf("replay of upgraded journal: %v", err)
+	}
+	defer srv2.Close()
+	for _, uid := range []string{"old1", "old2", "new1"} {
+		if srv2.dir.ByDN("uid="+uid+",ou=attLabs,o=att") == nil {
+			t.Errorf("entry %s lost across the headerless upgrade", uid)
+		}
+	}
+}
+
+// TestRecoverySnapshotRotationSurvivesPowerLoss is the satellite-1
+// regression: rotation renames the snapshot into place and truncates
+// the journal, so if the rename is not made durable (the parent
+// directory fsync) a power loss right after rotation loses every
+// compacted commit. The fault FS models exactly that trap.
+func TestRecoverySnapshotRotationSurvivesPowerLoss(t *testing.T) {
+	fault := vfs.NewFault()
+	srv := newFaultServer(t, fault, false)
+	if err := srv.OpenJournal(crashJournalPath); err != nil {
+		t.Fatal(err)
+	}
+	for _, uid := range []string{"p1", "p2"} {
+		if err := commitPerson(t, srv, uid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.mu.Lock()
+	err := srv.rotateJournal()
+	srv.mu.Unlock()
+	if err != nil {
+		t.Fatalf("rotation: %v", err)
+	}
+	srv.Close()
+	fault.Recover() // power loss immediately after rotation
+
+	srv2 := newFaultServer(t, fault, false)
+	if err := srv2.OpenJournal(crashJournalPath); err != nil {
+		t.Fatalf("recovery after rotation + power loss: %v", err)
+	}
+	defer srv2.Close()
+	for _, uid := range []string{"p1", "p2"} {
+		if srv2.dir.ByDN("uid="+uid+",ou=attLabs,o=att") == nil {
+			t.Errorf("compacted entry %s lost to the rename-durability trap", uid)
+		}
+	}
+}
+
+// TestVerifyCommand: the online fsck replies clean on a healthy server
+// and ERR once the on-disk journal no longer matches its checksums.
+func TestVerifyCommand(t *testing.T) {
+	srv, c, journal := startJournaledServer(t, 0)
+	c.expectOK("BEGIN")
+	c.expectOK(addPersonLines("v1")...)
+	body := c.expectOK("VERIFY")
+	joined := strings.Join(body, "\n")
+	if !strings.Contains(joined, "verify: clean") || !strings.Contains(joined, "legality") {
+		t.Fatalf("VERIFY body = %v", body)
+	}
+
+	// Flip one payload byte on disk, behind the running server's back.
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(data, []byte("changetype"))
+	if i < 0 {
+		t.Fatalf("no payload to corrupt in %q", data)
+	}
+	data[i] ^= 0x01
+	if err := os.WriteFile(journal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c.send("VERIFY")
+	if _, term := c.until(); !strings.HasPrefix(term, "ERR ") || !strings.Contains(term, "corrupt") {
+		t.Fatalf("VERIFY over a corrupted journal replied %q", term)
+	}
+	_ = srv
+}
+
+// TestVerifyCommandWithoutJournal: VERIFY still checks legality when
+// journaling is off.
+func TestVerifyCommandWithoutJournal(t *testing.T) {
+	_, c := startServer(t)
+	body := c.expectOK("VERIFY")
+	if joined := strings.Join(body, "\n"); !strings.Contains(joined, "journal: off") || !strings.Contains(joined, "verify: clean") {
+		t.Fatalf("VERIFY body = %v", body)
+	}
+}
+
+// TestReadOnlyDegradationUnderFaults is the satellite-3 path: a disk
+// whose syncs and truncates all fail forces the server read-only after
+// the first COMMIT, but reads keep serving and METRICS says why.
+func TestReadOnlyDegradationUnderFaults(t *testing.T) {
+	fault := vfs.NewFault()
+	s := workload.WhitePagesSchema()
+	srv, err := New(s, "whitepages", workload.WhitePagesInstance(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetFS(fault)
+	if err := srv.OpenJournal(crashJournalPath); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := dialClient(t, addr)
+
+	// Every sync and every truncate fails from here on: the failed
+	// append cannot be cleaned up, so the journal is untrustworthy.
+	fault.SetScript(
+		vfs.FaultPoint{Kind: vfs.FaultSyncErr},
+		vfs.FaultPoint{Kind: vfs.FaultTruncErr},
+	)
+	c.expectOK("BEGIN")
+	c.send(addPersonLines("doomed")...)
+	if _, term := c.until(); !strings.HasPrefix(term, "ERR ") || !strings.Contains(term, "not durable") {
+		t.Fatalf("COMMIT on a failing disk replied %q", term)
+	}
+	c.expectOK("BEGIN")
+	c.send(addPersonLines("after")...)
+	if _, term := c.until(); !strings.HasPrefix(term, "ERR ") || !strings.Contains(term, "read-only") {
+		t.Fatalf("COMMIT after degradation replied %q", term)
+	}
+	// Reads keep serving the (still legal) in-memory instance.
+	c.expectOK("SEARCH (objectClass=person)")
+	c.expectOK("CHECK")
+	body := c.expectOK("METRICS")
+	if joined := strings.Join(body, "\n"); !strings.Contains(joined, "read_only:") {
+		t.Fatalf("METRICS does not report the degraded state:\n%s", joined)
+	}
+}
+
+// TestFsck exercises the offline pipeline over the real file system:
+// clean verdict with counters on a healthy journal, refusal + on-disk
+// quarantine on a corrupted one.
+func TestFsck(t *testing.T) {
+	srv, c, journal := startJournaledServer(t, 0)
+	for _, uid := range []string{"f1", "f2", "f3"} {
+		c.expectOK("BEGIN")
+		c.expectOK(addPersonLines(uid)...)
+	}
+	c.expectOK("QUIT")
+	srv.Close()
+
+	s := workload.WhitePagesSchema()
+	fsrv, err := New(s, "whitepages", workload.WhitePagesInstance(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fsrv.Fsck(journal)
+	if err != nil {
+		t.Fatalf("fsck of a clean journal: %v", err)
+	}
+	if !rep.Clean || !rep.Legal || rep.RecordsScanned != 3 || rep.RecordsReplayed != 3 {
+		t.Fatalf("fsck report = %+v, want clean, legal, 3 scanned, 3 replayed", rep)
+	}
+	if joined := strings.Join(rep.Lines(), "\n"); !strings.Contains(joined, "verdict: clean") {
+		t.Fatalf("fsck lines = %v", rep.Lines())
+	}
+
+	// Corrupt a mid-log byte; fsck must refuse and quarantine.
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(data, []byte("changetype"))
+	data[i] ^= 0x01
+	if err := os.WriteFile(journal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsrv2, err := New(s, "whitepages", workload.WhitePagesInstance(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := fsrv2.Fsck(journal)
+	if err == nil {
+		t.Fatal("fsck accepted a corrupted journal")
+	}
+	if !rep2.Quarantined || rep2.QuarantinePath == "" {
+		t.Fatalf("fsck report = %+v, want quarantined", rep2)
+	}
+	if _, serr := os.Stat(rep2.QuarantinePath); serr != nil {
+		t.Fatalf("quarantine file missing: %v", serr)
+	}
+}
+
+// TestScanJournal covers the scanner's verdicts in isolation.
+func TestScanJournal(t *testing.T) {
+	payload := "dn: uid=x,o=att\nchangetype: add\nobjectClass: person\n\n"
+	rec := func(seq uint64) string { return payload + commitMarkerLine(seq, []byte(payload)) }
+
+	t.Run("verified-run", func(t *testing.T) {
+		sr := scanJournal([]byte(rec(1) + rec(2) + rec(3)))
+		if sr.corrupt || sr.verified != 3 || sr.lastSeq != 3 || sr.tornBytes != 0 {
+			t.Fatalf("scan = %+v", sr)
+		}
+	})
+	t.Run("torn-tail", func(t *testing.T) {
+		sr := scanJournal([]byte(rec(1) + payload[:17]))
+		if sr.corrupt || sr.verified != 1 || sr.tornBytes != 17 {
+			t.Fatalf("scan = %+v", sr)
+		}
+	})
+	t.Run("sequence-break", func(t *testing.T) {
+		sr := scanJournal([]byte(rec(1) + rec(3)))
+		if !sr.corrupt || !strings.Contains(sr.corruptReason, "sequence break") {
+			t.Fatalf("scan = %+v", sr)
+		}
+	})
+	t.Run("checksum-mismatch", func(t *testing.T) {
+		data := []byte(rec(1) + rec(2))
+		data[3] ^= 0x01
+		sr := scanJournal(data)
+		if !sr.corrupt || !strings.Contains(sr.corruptReason, "checksum mismatch") {
+			t.Fatalf("scan = %+v", sr)
+		}
+		if sr.afterCorrupt != 2 {
+			t.Fatalf("afterCorrupt = %d, want 2 (the bad record and everything after)", sr.afterCorrupt)
+		}
+	})
+	t.Run("damaged-marker", func(t *testing.T) {
+		sr := scanJournal([]byte(payload + "# commit seq=zap\n"))
+		if !sr.corrupt || !strings.Contains(sr.corruptReason, "damaged marker") {
+			t.Fatalf("scan = %+v", sr)
+		}
+	})
+	t.Run("legacy-bare-markers", func(t *testing.T) {
+		sr := scanJournal([]byte(payload + "# commit\n" + payload + "# commit\n"))
+		if sr.corrupt || sr.legacy != 2 || sr.verified != 0 {
+			t.Fatalf("scan = %+v", sr)
+		}
+	})
+	t.Run("headerless", func(t *testing.T) {
+		sr := scanJournal([]byte(payload + payload))
+		if !sr.headerless || sr.corrupt {
+			t.Fatalf("scan = %+v", sr)
+		}
+	})
+	t.Run("upgrade-prefix", func(t *testing.T) {
+		sr := scanJournal([]byte(payload + rec(1)))
+		if sr.corrupt || sr.verified != 1 || string(sr.prefix) != payload {
+			t.Fatalf("scan = %+v (prefix %q)", sr, sr.prefix)
+		}
+	})
+}
+
+// TestRecoverySnapshotSeqSkipsReplayedRecords: a journal that still
+// contains records the snapshot already compacted (the crash window
+// between the snapshot rename and the journal truncate) replays without
+// error, skipping exactly those records.
+func TestRecoverySnapshotSeqSkipsReplayedRecords(t *testing.T) {
+	// Probe pass: the same commits-plus-rotation sequence without
+	// faults, to learn how many mutating ops rotation takes.
+	setup := func(fault *vfs.Fault) *Server {
+		srv := newFaultServer(t, fault, false)
+		if err := srv.OpenJournal(crashJournalPath); err != nil {
+			t.Fatal(err)
+		}
+		for _, uid := range []string{"p1", "p2"} {
+			if err := commitPerson(t, srv, uid); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return srv
+	}
+	probe := vfs.NewFault()
+	psrv := setup(probe)
+	psrv.mu.Lock()
+	if err := psrv.rotateJournal(); err != nil {
+		psrv.mu.Unlock()
+		t.Fatalf("probe rotation: %v", err)
+	}
+	psrv.mu.Unlock()
+	psrv.Close()
+	total := probe.OpCount()
+
+	// Real pass: crash on rotation's second-to-last op — the journal
+	// truncate, whose following sync never runs, so after power loss the
+	// durable journal still holds both already-snapshotted records.
+	fault := vfs.NewFault()
+	srv := setup(fault)
+	fault.SetScript(vfs.FaultPoint{Op: total - 1, Kind: vfs.FaultCrash})
+	srv.mu.Lock()
+	// The truncate lands in the volatile namespace and the sync after it
+	// dies with the crash (rotation tolerates that), so the durable
+	// journal still holds both records.
+	_ = srv.rotateJournal()
+	srv.mu.Unlock()
+	srv.Close()
+	fault.Recover()
+
+	srv2 := newFaultServer(t, fault, false)
+	if err := srv2.OpenJournal(crashJournalPath); err != nil {
+		t.Fatalf("recovery in the rename/truncate crash window: %v", err)
+	}
+	defer srv2.Close()
+	if n := srv2.metrics.recScanned.Load(); n == 0 {
+		t.Fatalf("journal was empty — the crash point missed the window (scanned=%d)", n)
+	}
+	for _, uid := range []string{"p1", "p2"} {
+		if srv2.dir.ByDN("uid="+uid+",ou=attLabs,o=att") == nil {
+			t.Errorf("entry %s lost in the rotation crash window", uid)
+		}
+	}
+	if r := srv2.checker.Check(srv2.dir); !r.Legal() {
+		t.Fatalf("recovered instance illegal:\n%s", r)
+	}
+}
+
+// TestOpenJournalMissingParent: opening a journal in a directory that
+// does not exist reports the real error, not a false quarantine.
+func TestOpenJournalMissingParent(t *testing.T) {
+	s := workload.WhitePagesSchema()
+	srv, err := New(s, "whitepages", workload.WhitePagesInstance(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "missing", "journal.ldif")
+	err = srv.OpenJournal(path)
+	if err == nil {
+		t.Fatal("OpenJournal succeeded with a missing parent directory")
+	}
+	if !errors.Is(err, iofs.ErrNotExist) {
+		t.Fatalf("error does not unwrap to fs.ErrNotExist: %v", err)
+	}
+}

@@ -19,6 +19,8 @@
 //	STAT                            entry and class counts
 //	METRICS                         counters, latency histograms, gauges
 //	SNAPSHOT                        force journal compaction
+//	VERIFY                          re-scan the journal checksums and run
+//	                                the full legality check, online
 //	QUIT
 //
 // Every response is terminated by a line reading "OK", "ILLEGAL" or
@@ -55,6 +57,7 @@ import (
 	"boundschema/internal/ldif"
 	"boundschema/internal/schemadsl"
 	"boundschema/internal/txn"
+	"boundschema/internal/vfs"
 )
 
 // maxLineBytes caps one protocol line; longer lines fail the session with
@@ -111,6 +114,11 @@ type Server struct {
 	metrics  *Metrics
 	errorLog *log.Logger
 
+	// fs is the file system behind every durability path (journal,
+	// snapshot, quarantine). vfs.OS{} in production; tests swap in a
+	// vfs.Fault to script crashes and I/O faults.
+	fs vfs.FS
+
 	journal     *journal // nil when journaling is off
 	rotateBytes int64    // journal rotation threshold; 0 = never
 	readOnly    string   // non-empty reason = refuse COMMIT/SNAPSHOT
@@ -147,6 +155,7 @@ func New(schema *core.Schema, name string, dir *dirtree.Directory) (*Server, err
 		closed:      make(chan struct{}),
 		conns:       make(map[net.Conn]struct{}),
 		metrics:     newMetrics(),
+		fs:          vfs.OS{},
 		groupCommit: true,
 	}
 	checker.OnTiming = s.metrics.noteCheckTiming
@@ -176,6 +185,11 @@ func (s *Server) SetErrorLog(l *log.Logger) { s.errorLog = l }
 // which a successful COMMIT triggers compaction (snapshot + truncate; see
 // journal.go). 0 disables rotation. Call before OpenJournal.
 func (s *Server) SetJournalRotation(bytes int64) { s.rotateBytes = bytes }
+
+// SetFS replaces the file system behind the durability paths (default
+// vfs.OS{}). Tests install a vfs.Fault to inject crashes, torn writes
+// and corruption. Call before OpenJournal.
+func (s *Server) SetFS(fs vfs.FS) { s.fs = fs }
 
 // SetGroupCommit selects the durable-commit strategy (default on):
 // batched group commit — one fsync per batch of concurrent COMMITs,
@@ -537,6 +551,8 @@ func (se *session) handle(line string) bool {
 		se.metricsCmd()
 	case "SNAPSHOT":
 		se.snapshotCmd()
+	case "VERIFY":
+		se.verifyCmd()
 	default:
 		se.cmd = "UNKNOWN"
 		se.err(fmt.Sprintf("unknown command %q", cmd))
@@ -648,14 +664,32 @@ func (se *session) abort() {
 func (se *session) commit() {
 	tx := se.tx
 	se.abort()
-	s := se.srv
+	report, err := se.srv.CommitTx(tx)
+	if err != nil {
+		se.err(err.Error())
+		return
+	}
+	if !report.Legal() {
+		se.illegal(report)
+		return
+	}
+	se.ok()
+}
+
+// CommitTx applies tx and makes it durable — the exact path a session's
+// COMMIT takes, exposed for callers that commit without a protocol
+// session (the crash-matrix harness, bsbench drivers). On success the
+// returned report is legal; a report with violations means the
+// transaction was rejected and nothing changed; an error covers apply
+// failures and "commit not durable". Metrics are updated here, so
+// session and non-session commits are counted identically.
+func (s *Server) CommitTx(tx *txn.Transaction) (*core.Report, error) {
 	s.mu.Lock()
 	if s.readOnly != "" {
 		reason := s.readOnly
 		s.mu.Unlock()
 		s.metrics.TxErrors.Add(1)
-		se.err("server is read-only: " + reason)
-		return
+		return nil, errors.New("server is read-only: " + reason)
 	}
 	report, undo, err := s.applier.ApplyWithUndo(s.dir, tx)
 	// Re-encode before releasing the write lock: reader sessions (CHECK,
@@ -667,19 +701,16 @@ func (se *session) commit() {
 		s.mu.Unlock()
 		if err != nil {
 			s.metrics.TxErrors.Add(1)
-			se.err(err.Error())
-			return
+			return nil, err
 		}
 		s.metrics.TxIllegal.Add(1)
 		s.metrics.noteViolations(report)
-		se.illegal(report)
-		return
+		return report, nil
 	}
 	if s.journal == nil {
 		s.mu.Unlock()
 		s.metrics.TxCommitted.Add(1)
-		se.ok()
-		return
+		return report, nil
 	}
 	if s.committer == nil {
 		// Per-transaction durability (group commit off): write + fsync
@@ -694,13 +725,11 @@ func (se *session) commit() {
 			s.dir.EnsureEncoded()
 			s.mu.Unlock()
 			s.metrics.TxErrors.Add(1)
-			se.err(fmt.Sprintf("commit not durable: %v", jerr))
-			return
+			return nil, fmt.Errorf("commit not durable: %v", jerr)
 		}
 		s.mu.Unlock()
 		s.metrics.TxCommitted.Add(1)
-		se.ok()
-		return
+		return report, nil
 	}
 	// Group commit: encode the journal record and assign its sequence
 	// number while the apply's write lock is still held (journal order =
@@ -715,22 +744,23 @@ func (se *session) commit() {
 		s.dir.EnsureEncoded()
 		s.mu.Unlock()
 		s.metrics.TxErrors.Add(1)
-		se.err(fmt.Sprintf("commit not durable: %v", werr))
-		return
+		return nil, fmt.Errorf("commit not durable: %v", werr)
 	}
-	buf.WriteString(commitMarker) // terminates the transaction for atomic replay
-	req := &commitReq{seq: s.commitSeq, data: buf.Bytes(), undo: undo, done: make(chan error, 1)}
-	s.commitSeq++
+	seq := s.commitSeq + 1
+	// The checksummed marker terminates the transaction for atomic replay;
+	// it covers exactly the payload bytes written so far.
+	buf.WriteString(commitMarkerLine(seq, buf.Bytes()))
+	s.commitSeq = seq
+	req := &commitReq{seq: seq, data: buf.Bytes(), undo: undo, done: make(chan error, 1)}
 	s.committer.stage(req)
 	s.mu.Unlock()
 	// OK only after the batch fsync: the durability contract is unchanged.
 	if jerr := <-req.done; jerr != nil {
 		s.metrics.TxErrors.Add(1)
-		se.err(fmt.Sprintf("commit not durable: %v", jerr))
-		return
+		return nil, fmt.Errorf("commit not durable: %v", jerr)
 	}
 	s.metrics.TxCommitted.Add(1)
-	se.ok()
+	return report, nil
 }
 
 func (se *session) search(rest string) {
@@ -882,13 +912,53 @@ func (se *session) snapshotCmd() {
 	// goroutine, so compaction is a request it serves at a quiescent
 	// point (no staged-but-unsynced transactions). Waiting must happen
 	// off the lock — the committer's failure path needs it.
-	done := c.requestRotate()
+	done := c.requestQuiesce(func() error {
+		if s.readOnly != "" {
+			return errors.New("server is read-only: " + s.readOnly)
+		}
+		return s.rotateJournal()
+	})
 	s.mu.Unlock()
 	if err := <-done; err != nil {
 		se.err(err.Error())
 		return
 	}
 	se.reply("# journal compacted to " + snapPath)
+	se.ok()
+}
+
+// verifyCmd is the online fsck: it re-scans the on-disk journal against
+// its checksums and sequence numbers and runs the full legality checker
+// over the served instance, reporting both. It needs a point where no
+// journal append is in flight — the write lock excludes the
+// per-transaction path, and the committer's quiesce excludes the
+// group-commit pipeline.
+func (se *session) verifyCmd() {
+	s := se.srv
+	s.mu.RLock()
+	c := s.committer
+	s.mu.RUnlock()
+	var lines []string
+	var err error
+	if c == nil {
+		s.mu.RLock()
+		lines, err = s.verifyNow()
+		s.mu.RUnlock()
+	} else {
+		done := c.requestQuiesce(func() error {
+			var verr error
+			lines, verr = s.verifyNow()
+			return verr
+		})
+		err = <-done
+	}
+	for _, l := range lines {
+		se.reply("# " + l)
+	}
+	if err != nil {
+		se.err(err.Error())
+		return
+	}
 	se.ok()
 }
 
