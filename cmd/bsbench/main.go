@@ -27,6 +27,7 @@
 //	e13 parallel legality engine: sequential vs sharded Check
 //	e16 group commit: batched vs per-transaction journal fsync
 //	e17 crash recovery: cold-start cost vs journal length
+//	e18 streaming replication: read fan-out and the semi-sync write price
 package main
 
 import (
@@ -41,6 +42,7 @@ var (
 	jsonOut  = flag.String("json", "", "write e13 results as JSON to this file")
 	jsonE16  = flag.String("json-e16", "", "write e16 results as JSON to this file")
 	jsonE17  = flag.String("json-e17", "", "write e17 results as JSON to this file")
+	jsonE18  = flag.String("json-e18", "", "write e18 results as JSON to this file")
 )
 
 type experiment struct {
@@ -69,10 +71,11 @@ func main() {
 		// matches the doc's section number.
 		{"e16", "Group commit: batched vs per-transaction journal fsync", runE16},
 		{"e17", "Crash recovery: cold-start cost vs journal length", runE17},
+		{"e18", "Streaming replication: read fan-out and the semi-sync write price", runE18},
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: bsbench [-quick] all | e1 ... e13 | e16 | e17")
+		fmt.Fprintln(os.Stderr, "usage: bsbench [-quick] all | e1 ... e13 | e16 | e17 | e18")
 		os.Exit(2)
 	}
 	want := make(map[string]bool)

@@ -10,6 +10,15 @@
 //	    [-read-timeout 0] [-idle-timeout 0] [-max-conns 0]
 //	    [-drain-timeout 1s] [-journal-rotate 0] [-metrics-addr host:port]
 //	    [-group-commit=true] [-commit-delay 0] [-fsck]
+//	    [-repl-addr host:port] [-repl-mode async|semisync]
+//	    [-replica-of host:port]
+//
+// Replication: -repl-addr makes this server a primary shipping its
+// journal to replicas; -repl-mode semisync gates COMMIT's OK on a
+// replica acknowledging durability. -replica-of starts the server as a
+// read-only replica streaming from a primary's -repl-addr; writes are
+// refused with a redirect and PROMOTE turns a caught-up replica into a
+// primary. Both roles require -journal.
 //
 // With -fsck the server does not serve: it runs the crash-recovery
 // pipeline over -journal (validate record checksums and sequence
@@ -48,6 +57,7 @@ import (
 	"time"
 
 	"boundschema"
+	"boundschema/internal/repl"
 	"boundschema/internal/server"
 )
 
@@ -67,6 +77,9 @@ func main() {
 	commitDelay := flag.Duration("commit-delay", 0, "extra wait before each journal fsync so more commits join the batch (0 = none)")
 	metricsAddr := flag.String("metrics-addr", "", "serve expvar metrics over HTTP on this address (empty = off)")
 	fsck := flag.Bool("fsck", false, "check and repair the -journal (truncate torn tail, quarantine corruption), print a report, and exit")
+	replAddr := flag.String("repl-addr", "", "serve journal replication to replicas on this address (empty = off)")
+	replModeName := flag.String("repl-mode", "async", "replication mode: async, or semisync to gate COMMIT on a replica ack")
+	replicaOf := flag.String("replica-of", "", "run as a read-only replica streaming from this primary replication address")
 	flag.Parse()
 	if *schemaPath == "" {
 		fmt.Fprintln(os.Stderr, "bsd: -schema is required")
@@ -129,10 +142,37 @@ func main() {
 		}
 		return
 	}
+	replMode, ok := repl.ParseMode(*replModeName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bsd: unknown -repl-mode %q (want async or semisync)\n", *replModeName)
+		os.Exit(2)
+	}
+	srv.SetReplicationMode(replMode)
+	if (*replAddr != "" || *replicaOf != "") && *journal == "" {
+		fmt.Fprintln(os.Stderr, "bsd: replication requires -journal")
+		os.Exit(2)
+	}
+	if *replAddr != "" && *replicaOf != "" {
+		fmt.Fprintln(os.Stderr, "bsd: -repl-addr and -replica-of are mutually exclusive")
+		os.Exit(2)
+	}
 	if *journal != "" {
 		if err := srv.OpenJournal(*journal); err != nil {
 			fatal(err)
 		}
+	}
+	if *replAddr != "" {
+		bound, err := srv.ListenRepl(*replAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bsd: shipping journal (%s) to replicas on %s\n", replMode, bound)
+	}
+	if *replicaOf != "" {
+		if err := srv.StartReplica(*replicaOf); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bsd: read-only replica of %s\n", *replicaOf)
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {

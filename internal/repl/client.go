@@ -1,0 +1,97 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Target is the replica-side state machine the streaming client drives.
+// internal/server implements it over the live Server: Bootstrap
+// installs a full snapshot, Apply admits one verified segment through
+// the incremental legality checks and makes it locally durable, and
+// LastSeq reports the durable high-water mark the handshake announces.
+type Target interface {
+	// LastSeq returns the highest sequence number held durably.
+	LastSeq() uint64
+	// Bootstrap replaces the local state with a snapshot (LDIF bytes,
+	// including the "# snapshot-seq" header) compacted through seq, and
+	// makes it durable. Called at most once per connection.
+	Bootstrap(seq uint64, snapshot []byte) error
+	// Apply admits one CRC-verified segment: decode, check sequence
+	// continuity, apply under the incremental legality tests, journal
+	// durably. Returning nil acknowledges the segment (a duplicate the
+	// target already holds is a nil too); an error ends the session.
+	Apply(seg Segment) error
+	// ObservePrimarySeq reports the primary's durable sequence number
+	// learned from the stream — the replica's lag gauge input.
+	ObservePrimarySeq(seq uint64)
+}
+
+// maxSnapshotBytes bounds the bootstrap blob a client will accept.
+const maxSnapshotBytes = 1 << 30
+
+// Run performs the replica side of the replication protocol over an
+// established connection: HELLO with the local high-water mark, apply
+// the snapshot or tail the primary chooses, then stream segments,
+// acking each after the target makes it durable. It blocks until the
+// connection closes or either side fails; a clean primary close between
+// segments returns io.EOF. The caller owns reconnect policy.
+func Run(conn io.ReadWriter, t Target) error {
+	br := bufio.NewReaderSize(conn, 64*1024)
+	if _, err := io.WriteString(conn, HelloLine(t.LastSeq())); err != nil {
+		return fmt.Errorf("repl: hello: %w", err)
+	}
+	header, err := readLine(br)
+	if err != nil {
+		return fmt.Errorf("repl: handshake: %w", err)
+	}
+	switch {
+	case strings.HasPrefix(header, errPrefix):
+		return fmt.Errorf("repl: primary refused: %s", strings.TrimPrefix(header, errPrefix))
+	case strings.HasPrefix(header, snapshotPrefix):
+		var seq uint64
+		var n int64
+		if _, err := fmt.Sscanf(strings.TrimPrefix(header, snapshotPrefix), "seq=%d len=%d", &seq, &n); err != nil {
+			return fmt.Errorf("repl: malformed snapshot header %q", header)
+		}
+		if n < 0 || n > maxSnapshotBytes {
+			return fmt.Errorf("repl: snapshot of %d bytes refused", n)
+		}
+		blob := make([]byte, n)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return fmt.Errorf("repl: reading snapshot: %w", err)
+		}
+		if err := t.Bootstrap(seq, blob); err != nil {
+			return err
+		}
+		t.ObservePrimarySeq(seq)
+		if _, err := io.WriteString(conn, AckLine(seq)); err != nil {
+			return fmt.Errorf("repl: ack: %w", err)
+		}
+	case strings.HasPrefix(header, tailPrefix):
+		// Informational: the tail is verbatim segments, parsed by the
+		// same loop as the live stream.
+	default:
+		return fmt.Errorf("repl: unexpected handshake reply %q", header)
+	}
+	sr := &SegmentReader{r: br}
+	for {
+		seg, err := sr.Next(func(line string) {
+			if seq, ok := parsePing(line); ok {
+				t.ObservePrimarySeq(seq)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if err := t.Apply(seg); err != nil {
+			return err
+		}
+		t.ObservePrimarySeq(seg.Seq)
+		if _, err := io.WriteString(conn, AckLine(seg.Seq)); err != nil {
+			return fmt.Errorf("repl: ack: %w", err)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func seg(t *testing.T, seq uint64, payload string) Segment {
+	t.Helper()
+	raw := RawSegment(seq, []byte(payload))
+	return Segment{Seq: seq, Payload: []byte(payload), Raw: raw}
+}
+
+func TestMarkerRoundTrip(t *testing.T) {
+	payload := []byte("dn: uid=a,o=x\nchangetype: add\nobjectClass: person\n\n")
+	line := MarkerLine(7, payload)
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatalf("marker not newline-terminated: %q", line)
+	}
+	seq, length, crc, legacy, err := ParseMarker([]byte(strings.TrimRight(line, "\n")))
+	if err != nil || legacy {
+		t.Fatalf("ParseMarker: seq=%d legacy=%v err=%v", seq, legacy, err)
+	}
+	if seq != 7 || length != int64(len(payload)) || crc != Checksum(payload) {
+		t.Fatalf("round trip mismatch: seq=%d len=%d crc=%08x", seq, length, crc)
+	}
+	if _, _, _, legacy, err := ParseMarker([]byte(MarkerPrefix)); err != nil || !legacy {
+		t.Fatalf("bare marker should parse as legacy, got legacy=%v err=%v", legacy, err)
+	}
+	if _, _, _, _, err := ParseMarker([]byte(MarkerPrefix + " seq=zap")); err == nil {
+		t.Fatal("damaged marker accepted")
+	}
+}
+
+func TestHelloAckLines(t *testing.T) {
+	n, err := ParseHello(strings.TrimRight(HelloLine(42), "\n"))
+	if err != nil || n != 42 {
+		t.Fatalf("hello round trip: %d %v", n, err)
+	}
+	if _, err := ParseHello("REPL HELLO last_seq=x"); err == nil {
+		t.Fatal("malformed hello accepted")
+	}
+	n, err = ParseAck(strings.TrimRight(AckLine(9), "\n"))
+	if err != nil || n != 9 {
+		t.Fatalf("ack round trip: %d %v", n, err)
+	}
+}
+
+func TestSegmentReaderStream(t *testing.T) {
+	var stream bytes.Buffer
+	stream.Write(seg(t, 1, "dn: a\nchangetype: delete\n\n").Raw)
+	stream.WriteString(PingLine(1))
+	stream.Write(seg(t, 2, "dn: b\nchangetype: delete\n\n").Raw)
+	stream.Write(seg(t, 3, "dn: c\nchangetype: delete\n\n").Raw)
+
+	sr := NewSegmentReader(&stream)
+	var pings []string
+	var got []uint64
+	for {
+		s, err := sr.Next(func(line string) { pings = append(pings, line) })
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if Checksum(s.Payload) != Checksum(s.Payload) || !bytes.HasSuffix(s.Raw, []byte(MarkerLine(s.Seq, s.Payload))) {
+			t.Fatalf("segment %d raw bytes not verbatim", s.Seq)
+		}
+		got = append(got, s.Seq)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("segments = %v", got)
+	}
+	if len(pings) != 1 || !strings.HasPrefix(pings[0], "REPL PING ") {
+		t.Fatalf("pings = %v", pings)
+	}
+}
+
+func TestSegmentReaderRejects(t *testing.T) {
+	cases := map[string]string{
+		"checksum mismatch": "dn: a\n" + MarkerLine(1, []byte("dn: b\n")),
+		"length mismatch":   "dn: a\n" + fmt.Sprintf("%s seq=1 len=3 crc=%08x\n", MarkerPrefix, Checksum([]byte("dn: a\n"))),
+		"legacy marker":     "dn: a\n" + MarkerPrefix + "\n",
+		"damaged marker":    "dn: a\n" + MarkerPrefix + " seq=zap\n",
+		"control mid-seg":   "dn: a\n" + PingLine(5) + string(RawSegment(1, []byte("dn: a\n"))),
+	}
+	for name, stream := range cases {
+		sr := NewSegmentReader(strings.NewReader(stream))
+		if _, err := sr.Next(nil); err == nil || err == io.EOF {
+			t.Errorf("%s: error = %v, want rejection", name, err)
+		}
+	}
+	// A torn tail (no trailing newline, or bytes after the last marker)
+	// must be unexpected-EOF, distinguishable from a clean close.
+	sr := NewSegmentReader(strings.NewReader("dn: half-a-segment"))
+	if _, err := sr.Next(nil); err != io.ErrUnexpectedEOF {
+		t.Errorf("torn stream: err = %v, want ErrUnexpectedEOF", err)
+	}
+	sr = NewSegmentReader(strings.NewReader(""))
+	if _, err := sr.Next(nil); err != io.EOF {
+		t.Errorf("clean close: err = %v, want EOF", err)
+	}
+}
+
+// collectWriter records writes and signals each one.
+type collectWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *collectWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *collectWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestHubShipOrderAndFirst(t *testing.T) {
+	h := NewHub(Async, 0, time.Hour, nil)
+	defer h.Close()
+	w := &collectWriter{}
+	header := []byte(TailHeader(1, 0))
+	sub := h.Subscribe("r1", w, nil, header)
+	s1, s2 := seg(t, 1, "dn: a\n\n"), seg(t, 2, "dn: b\n\n")
+	h.Ship(1, s1.Raw)
+	h.Ship(2, s2.Raw)
+	want := string(header) + string(s1.Raw) + string(s2.Raw)
+	waitFor(t, "subscriber drain", func() bool { return w.String() == want })
+	st := h.Status()
+	if st.Replicas != 1 || st.LastShipped != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+	h.Unsubscribe(sub)
+	waitFor(t, "unsubscribe", func() bool { return h.Status().Replicas == 0 })
+}
+
+func TestHubSemiSyncGateAndAck(t *testing.T) {
+	h := NewHub(SemiSync, time.Hour, time.Hour, nil)
+	defer h.Close()
+	w := &collectWriter{}
+	sub := h.Subscribe("r1", w, nil)
+	done := make(chan error, 1)
+	h.Gate(5, done)
+	select {
+	case <-done:
+		t.Fatal("gate released before ack")
+	case <-time.After(20 * time.Millisecond):
+	}
+	h.Ack(sub, 4)
+	select {
+	case <-done:
+		t.Fatal("gate released by an ack below its seq")
+	case <-time.After(20 * time.Millisecond):
+	}
+	h.Ack(sub, 5)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("gate released with error %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("gate not released by covering ack")
+	}
+	// An ack that already covers the seq releases immediately.
+	done2 := make(chan error, 1)
+	h.Gate(3, done2)
+	if err := <-done2; err != nil {
+		t.Fatalf("pre-covered gate: %v", err)
+	}
+	if st := h.Status(); st.AckedSeq != 5 || st.Degraded {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestHubSemiSyncDegradesWithoutReplicas(t *testing.T) {
+	var logged []string
+	var mu sync.Mutex
+	h := NewHub(SemiSync, time.Hour, time.Hour, func(f string, a ...any) {
+		mu.Lock()
+		logged = append(logged, fmt.Sprintf(f, a...))
+		mu.Unlock()
+	})
+	defer h.Close()
+	done := make(chan error, 1)
+	h.Gate(1, done)
+	if err := <-done; err != nil {
+		t.Fatalf("no-replica gate: %v", err)
+	}
+	if st := h.Status(); !st.Degraded {
+		t.Fatalf("hub not degraded with no replicas: %+v", st)
+	}
+	// A replica that catches up to the shipped watermark re-arms it.
+	w := &collectWriter{}
+	sub := h.Subscribe("r1", w, nil)
+	h.Ship(3, []byte("x"))
+	h.Ack(sub, 3)
+	if st := h.Status(); st.Degraded {
+		t.Fatalf("hub still degraded after catch-up: %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	joined := strings.Join(logged, "\n")
+	if !strings.Contains(joined, "degraded") || !strings.Contains(joined, "re-enabled") {
+		t.Fatalf("degradation transitions not logged:\n%s", joined)
+	}
+}
+
+func TestHubSemiSyncAckTimeout(t *testing.T) {
+	h := NewHub(SemiSync, 30*time.Millisecond, time.Hour, nil)
+	defer h.Close()
+	h.Subscribe("r1", &collectWriter{}, nil) // present but never acks
+	done := make(chan error, 1)
+	h.Gate(1, done)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("timed-out gate: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("gate not released by ack timeout")
+	}
+	if st := h.Status(); !st.Degraded {
+		t.Fatalf("hub not degraded after timeout: %+v", st)
+	}
+}
+
+func TestHubCloseReleasesGates(t *testing.T) {
+	h := NewHub(SemiSync, time.Hour, time.Hour, nil)
+	h.Subscribe("r1", &collectWriter{}, nil)
+	done := make(chan error, 1)
+	h.Gate(1, done)
+	h.Close()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Close left a gate parked")
+	}
+}
+
+// fakeTarget implements Target over in-memory state.
+type fakeTarget struct {
+	mu         sync.Mutex
+	last       uint64
+	boot       []byte
+	bootSeq    uint64
+	applied    []uint64
+	primarySeq uint64
+	applyErr   error
+}
+
+func (f *fakeTarget) LastSeq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.last
+}
+
+func (f *fakeTarget) Bootstrap(seq uint64, snap []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.boot, f.bootSeq, f.last = append([]byte(nil), snap...), seq, seq
+	return nil
+}
+
+func (f *fakeTarget) Apply(s Segment) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.applyErr != nil {
+		return f.applyErr
+	}
+	if s.Seq <= f.last {
+		return nil
+	}
+	if s.Seq != f.last+1 {
+		return fmt.Errorf("gap: have %d, got %d", f.last, s.Seq)
+	}
+	f.last = s.Seq
+	f.applied = append(f.applied, s.Seq)
+	return nil
+}
+
+func (f *fakeTarget) ObservePrimarySeq(seq uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if seq > f.primarySeq {
+		f.primarySeq = seq
+	}
+}
+
+// TestClientRunSnapshotThenStream scripts the primary side over a pipe:
+// snapshot bootstrap, two live segments, then a clean close, asserting
+// the client acks each durability point.
+func TestClientRunSnapshotThenStream(t *testing.T) {
+	cli, prim := net.Pipe()
+	target := &fakeTarget{}
+	runErr := make(chan error, 1)
+	go func() { runErr <- Run(cli, target) }()
+
+	br := bufio.NewReader(prim)
+	line, err := readLine(br)
+	if err != nil {
+		t.Fatalf("reading hello: %v", err)
+	}
+	if n, err := ParseHello(line); err != nil || n != 0 {
+		t.Fatalf("hello = %q (%v)", line, err)
+	}
+	snap := []byte("# snapshot-seq 4\ndn: o=x\nobjectClass: top\n\n")
+	io.WriteString(prim, SnapshotHeader(4, len(snap)))
+	prim.Write(snap)
+	if line, _ = readLine(br); line != strings.TrimRight(AckLine(4), "\n") {
+		t.Fatalf("snapshot ack = %q", line)
+	}
+	s5, s6 := seg(t, 5, "dn: a\nchangetype: delete\n\n"), seg(t, 6, "dn: b\nchangetype: delete\n\n")
+	prim.Write(s5.Raw)
+	// net.Pipe is synchronous: drain the ack before writing more.
+	if line, _ = readLine(br); line != strings.TrimRight(AckLine(5), "\n") {
+		t.Fatalf("ack 5 = %q", line)
+	}
+	io.WriteString(prim, PingLine(6))
+	prim.Write(s6.Raw)
+	if line, _ = readLine(br); line != strings.TrimRight(AckLine(6), "\n") {
+		t.Fatalf("ack 6 = %q", line)
+	}
+	prim.Close()
+	if err := <-runErr; err != io.EOF {
+		t.Fatalf("Run = %v, want EOF on clean close", err)
+	}
+	if target.bootSeq != 4 || !bytes.Equal(target.boot, snap) {
+		t.Fatalf("bootstrap seq=%d", target.bootSeq)
+	}
+	if len(target.applied) != 2 || target.last != 6 || target.primarySeq != 6 {
+		t.Fatalf("applied=%v last=%d primarySeq=%d", target.applied, target.last, target.primarySeq)
+	}
+}
+
+// TestClientRunTail: a TAIL handshake streams verbatim segments with no
+// bootstrap blob.
+func TestClientRunTail(t *testing.T) {
+	cli, prim := net.Pipe()
+	target := &fakeTarget{last: 2}
+	runErr := make(chan error, 1)
+	go func() { runErr <- Run(cli, target) }()
+
+	br := bufio.NewReader(prim)
+	line, _ := readLine(br)
+	if n, err := ParseHello(line); err != nil || n != 2 {
+		t.Fatalf("hello = %q", line)
+	}
+	io.WriteString(prim, TailHeader(3, 1))
+	prim.Write(seg(t, 3, "dn: c\nchangetype: delete\n\n").Raw)
+	if line, _ = readLine(br); line != strings.TrimRight(AckLine(3), "\n") {
+		t.Fatalf("ack = %q", line)
+	}
+	prim.Close()
+	<-runErr
+	if target.last != 3 {
+		t.Fatalf("target.last = %d", target.last)
+	}
+}
+
+// TestClientRunRefused: a REPL ERR reply surfaces as an error.
+func TestClientRunRefused(t *testing.T) {
+	cli, prim := net.Pipe()
+	runErr := make(chan error, 1)
+	go func() { runErr <- Run(cli, &fakeTarget{}) }()
+	br := bufio.NewReader(prim)
+	readLine(br)
+	io.WriteString(prim, ErrLine("not primary"))
+	prim.Close()
+	err := <-runErr
+	if err == nil || !strings.Contains(err.Error(), "not primary") {
+		t.Fatalf("refusal error = %v", err)
+	}
+}
+
+// TestClientApplyErrorStopsRun: a target that rejects a segment ends the
+// session with that error.
+func TestClientApplyErrorStopsRun(t *testing.T) {
+	cli, prim := net.Pipe()
+	target := &fakeTarget{applyErr: fmt.Errorf("diverged")}
+	runErr := make(chan error, 1)
+	go func() { runErr <- Run(cli, target) }()
+	br := bufio.NewReader(prim)
+	readLine(br)
+	io.WriteString(prim, TailHeader(1, 1))
+	prim.Write(seg(t, 1, "dn: a\nchangetype: delete\n\n").Raw)
+	err := <-runErr
+	prim.Close()
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("apply error = %v", err)
+	}
+}

@@ -216,8 +216,23 @@ func (c *committer) commitBatch(batch []*commitReq) {
 	j.size += cw.n
 	s.metrics.JournalBytes.Store(j.size)
 	s.metrics.noteBatch(len(batch))
+	// Replication: ship the whole batch in journal order (only this
+	// goroutine ships in group-commit mode), then release each waiter.
+	// Under semi-sync the hub holds a waiter's done channel until a
+	// replica ack covers its seq — the batch OK is gated on replica
+	// durability without blocking the committer itself.
+	hub := s.replHub.Load()
+	if hub != nil {
+		for _, r := range batch {
+			hub.Ship(r.seq, r.data)
+		}
+	}
 	for _, r := range batch {
-		r.done <- nil
+		if hub != nil {
+			hub.Gate(r.seq, r.done)
+		} else {
+			r.done <- nil
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"boundschema/internal/ldif"
+	"boundschema/internal/repl"
 	"boundschema/internal/txn"
 	"boundschema/internal/vfs"
 )
@@ -122,19 +123,21 @@ func (s *Server) syncJournal() error {
 }
 
 // appendCommit durably records a committed transaction (write + fsync)
-// under the next sequence number. The per-transaction path, used when
-// group commit is off; called with s.mu held. On failure it truncates
-// any torn record so the on-disk journal stays an exact prefix of
-// acknowledged commits (and the sequence number is not consumed); if
-// even that fails, the server degrades to read-only.
-func (s *Server) appendCommit(tx *txn.Transaction) error {
+// under the next sequence number, returning that number, and ships the
+// record to any subscribed replicas. The per-transaction path, used
+// when group commit is off; called with s.mu held (which is also what
+// keeps the ship order equal to the journal order). On failure it
+// truncates any torn record so the on-disk journal stays an exact
+// prefix of acknowledged commits (and the sequence number is not
+// consumed); if even that fails, the server degrades to read-only.
+func (s *Server) appendCommit(tx *txn.Transaction) (uint64, error) {
 	j := s.journal
 	var buf bytes.Buffer
 	if err := tx.WriteChanges(&buf); err != nil {
-		return err // nothing reached the disk
+		return 0, err // nothing reached the disk
 	}
 	seq := s.commitSeq + 1
-	buf.WriteString(commitMarkerLine(seq, buf.Bytes()))
+	buf.WriteString(repl.MarkerLine(seq, buf.Bytes()))
 	cw := &countingWriter{w: j.f}
 	_, err := cw.Write(buf.Bytes())
 	if err == nil {
@@ -147,12 +150,13 @@ func (s *Server) appendCommit(tx *txn.Transaction) error {
 			s.readOnly = fmt.Sprintf("journal %s unrecoverable after failed write (%v; truncate: %v)", j.path, err, terr)
 			s.logf("journal: %s", s.readOnly)
 		}
-		return err
+		return 0, err
 	}
 	s.commitSeq = seq
 	j.size += cw.n
 	s.metrics.JournalBytes.Store(j.size)
 	s.metrics.noteBatch(1) // per-transaction mode: every fsync carries one commit
+	s.shipSegment(seq, buf.Bytes())
 	if s.rotateBytes > 0 && j.size >= s.rotateBytes {
 		if rerr := s.rotateJournal(); rerr != nil {
 			// The journal is still a complete log; rotation simply retries
@@ -161,7 +165,7 @@ func (s *Server) appendCommit(tx *txn.Transaction) error {
 			s.logf("journal rotation: %v", rerr)
 		}
 	}
-	return nil
+	return seq, nil
 }
 
 // rotateJournal compacts the durable state: the current instance is

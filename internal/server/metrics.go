@@ -103,7 +103,7 @@ type cmdStats struct {
 var protocolCommands = []string{
 	"SEARCH", "QUERY", "GET", "BEGIN", "ADD", "DELETE", "MOVE", "COMMIT",
 	"ABORT", "CHECK", "CONSISTENT", "SCHEMA", "STAT", "METRICS", "SNAPSHOT",
-	"VERIFY", "QUIT", "UNKNOWN",
+	"VERIFY", "PROMOTE", "QUIT", "UNKNOWN",
 }
 
 // nViolationKinds sizes the per-kind violation counters; the kinds are a
@@ -238,10 +238,12 @@ func (m *Metrics) noteViolations(r *core.Report) {
 }
 
 // lines renders the METRICS protocol response body in a fixed order:
-// aggregate gauges first, then checker timings, then the non-zero
-// commands alphabetically, then the non-zero violation kinds in enum
-// order.
-func (m *Metrics) lines(journalOn bool, readOnly string) []string {
+// aggregate gauges first, then the node's replication role and state,
+// then checker timings, then the non-zero commands alphabetically, then
+// the non-zero violation kinds in enum order. The ordering is part of
+// the surface — TestMetricsLineOrder pins it — so scraping scripts can
+// rely on it.
+func (m *Metrics) lines(journalOn bool, readOnly string, rs replStatus) []string {
 	var out []string
 	out = append(out,
 		fmt.Sprintf("uptime_ms: %d", time.Since(m.start).Milliseconds()),
@@ -273,6 +275,25 @@ func (m *Metrics) lines(journalOn bool, readOnly string) []string {
 	}
 	if readOnly != "" {
 		out = append(out, "read_only: "+readOnly)
+	}
+	out = append(out, "role: "+rs.role)
+	if rs.hub != nil {
+		degraded := 0
+		if rs.hub.Degraded {
+			degraded = 1
+		}
+		out = append(out, fmt.Sprintf(
+			"replication: mode=%s replicas=%d last_shipped=%d acked_seq=%d semisync_degraded=%d",
+			rs.hub.Mode, rs.hub.Replicas, rs.hub.LastShipped, rs.hub.AckedSeq, degraded))
+	}
+	if rs.replica {
+		var lag uint64
+		if rs.primarySeq > rs.localSeq {
+			lag = rs.primarySeq - rs.localSeq
+		}
+		out = append(out, fmt.Sprintf(
+			"replica: primary_seq=%d applied_seq=%d lag=%d applied=%d",
+			rs.primarySeq, rs.localSeq, lag, rs.applied))
 	}
 	seqN, seqNS := m.checkSeqCount.Load(), m.checkSeqNS.Load()
 	parN, parNS := m.checkParCount.Load(), m.checkParNS.Load()
@@ -313,7 +334,7 @@ func avgUS(ns, n int64) int64 {
 
 // snapshot returns the metrics as nested JSON-marshalable maps, the shape
 // served by cmd/bsd's expvar endpoint.
-func (m *Metrics) snapshot(journalOn bool, readOnly string) map[string]any {
+func (m *Metrics) snapshot(journalOn bool, readOnly string, rs replStatus) map[string]any {
 	out := map[string]any{
 		"uptime_ms": time.Since(m.start).Milliseconds(),
 		"connections": map[string]int64{
@@ -367,6 +388,28 @@ func (m *Metrics) snapshot(journalOn bool, readOnly string) map[string]any {
 	}
 	if readOnly != "" {
 		out["read_only"] = readOnly
+	}
+	out["role"] = rs.role
+	if rs.hub != nil {
+		out["replication"] = map[string]any{
+			"mode":              rs.hub.Mode.String(),
+			"replicas":          rs.hub.Replicas,
+			"last_shipped":      rs.hub.LastShipped,
+			"acked_seq":         rs.hub.AckedSeq,
+			"semisync_degraded": rs.hub.Degraded,
+		}
+	}
+	if rs.replica {
+		var lag uint64
+		if rs.primarySeq > rs.localSeq {
+			lag = rs.primarySeq - rs.localSeq
+		}
+		out["replica"] = map[string]uint64{
+			"primary_seq": rs.primarySeq,
+			"applied_seq": rs.localSeq,
+			"lag":         lag,
+			"applied":     uint64(rs.applied),
+		}
 	}
 	cmds := make(map[string]any)
 	for name, st := range m.cmds {

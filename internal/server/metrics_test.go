@@ -5,6 +5,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"boundschema/internal/core"
+	"boundschema/internal/repl"
 )
 
 // metricLine finds the first METRICS body line with the given prefix.
@@ -166,6 +169,79 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 	if avg := h.avgUS(); avg != (0+3+3+3+100+900)/6 {
 		t.Errorf("avg = %d", avg)
+	}
+}
+
+// TestMetricsLineOrder pins the METRICS body ordering — it is part of
+// the observability surface, and scraping scripts rely on it. Every
+// optional section is switched on so the golden sequence covers the
+// whole surface, including the replication lines.
+func TestMetricsLineOrder(t *testing.T) {
+	m := newMetrics()
+	m.noteBatch(3)
+	m.noteRecovery(&RecoveryReport{RecordsScanned: 2, Legal: true, Clean: true})
+	m.observeCommand("SEARCH", time.Millisecond, false)
+	m.observeCommand("COMMIT", time.Millisecond, false)
+	m.violations[0].Add(1)
+
+	hub := repl.HubStatus{Mode: repl.SemiSync, Replicas: 2, LastShipped: 9, AckedSeq: 9}
+	rs := replStatus{role: "read-only degraded", hub: &hub, replica: true,
+		primarySeq: 9, localSeq: 8, applied: 4}
+	got := m.lines(true, "stuck", rs)
+
+	want := []string{
+		"uptime_ms",
+		"connections",
+		"sessions",
+		"transactions",
+		"journal",
+		"group-commit",
+		"recovery",
+		"read_only",
+		"role",
+		"replication",
+		"replica",
+		"checker sequential",
+		"checker parallel",
+		"command COMMIT",
+		"command SEARCH",
+		"violations " + core.ViolationKind(0).String(),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("METRICS rendered %d lines, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i, l := range got {
+		key, _, ok := strings.Cut(l, ":")
+		if !ok || key != want[i] {
+			t.Errorf("line %d = %q, want key %q", i, l, want[i])
+		}
+	}
+
+	// The replication lines carry exact, scrapable key=value content.
+	if l := got[8]; l != "role: read-only degraded" {
+		t.Errorf("role line = %q", l)
+	}
+	if l := got[9]; l != "replication: mode=semisync replicas=2 last_shipped=9 acked_seq=9 semisync_degraded=0" {
+		t.Errorf("replication line = %q", l)
+	}
+	if l := got[10]; l != "replica: primary_seq=9 applied_seq=8 lag=1 applied=4" {
+		t.Errorf("replica line = %q", l)
+	}
+
+	// A plain journal-less primary still states its role, in the same slot
+	// relative to its neighbours.
+	plain := newMetrics().lines(false, "", replStatus{role: "primary"})
+	idx := -1
+	for i, l := range plain {
+		if l == "role: primary" {
+			idx = i
+		}
+	}
+	if idx == -1 {
+		t.Fatalf("no role line on a plain server:\n%s", strings.Join(plain, "\n"))
+	}
+	if !strings.HasPrefix(plain[idx-1], "journal:") || !strings.HasPrefix(plain[idx+1], "checker sequential:") {
+		t.Errorf("role line neighbours = %q / %q", plain[idx-1], plain[idx+1])
 	}
 }
 

@@ -4,11 +4,11 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	iofs "io/fs"
 	"time"
 
 	"boundschema/internal/ldif"
+	"boundschema/internal/repl"
 	"boundschema/internal/txn"
 	"boundschema/internal/vfs"
 )
@@ -43,19 +43,11 @@ import (
 // replay simply skips journal records with seq ≤ n instead of failing
 // on re-applied transactions.
 
-const (
-	commitMarkerPrefix = "# commit"
-	snapshotSeqPrefix  = "# snapshot-seq "
-)
-
-var crc32cTable = crc32.MakeTable(crc32.Castagnoli)
-
-// commitMarkerLine renders the checksummed marker terminating a
-// transaction's journal payload.
-func commitMarkerLine(seq uint64, payload []byte) string {
-	return fmt.Sprintf("%s seq=%d len=%d crc=%08x\n",
-		commitMarkerPrefix, seq, len(payload), crc32.Checksum(payload, crc32cTable))
-}
+// The segment framing — marker rendering, parsing and the CRC32C — is
+// owned by internal/repl, because the on-disk journal and the
+// replication wire stream are the same byte format. This file keeps the
+// scanner, verdict logic and replay driver.
+const snapshotSeqPrefix = "# snapshot-seq "
 
 // journalTxn is one scanned transaction: the payload bytes of its LDIF
 // change records plus the marker header that vouched for them. seq is 0
@@ -87,29 +79,6 @@ type scanResult struct {
 	afterCorrupt  int // complete records from the corruption onward
 }
 
-// parseMarker decodes a complete "# commit…" line. legacy is true for
-// the bare pre-checksum marker; err means the line claims to be a
-// marker but its fields do not parse — a damaged marker, which is
-// corruption, not a tear, because the line is complete.
-func parseMarker(line []byte) (seq uint64, length int64, crc uint32, legacy bool, err error) {
-	rest := line[len(commitMarkerPrefix):]
-	if len(rest) == 0 {
-		return 0, 0, 0, true, nil
-	}
-	if rest[0] != ' ' {
-		return 0, 0, 0, false, fmt.Errorf("damaged marker %q", line)
-	}
-	n, serr := fmt.Sscanf(string(rest), " seq=%d len=%d crc=%x", &seq, &length, &crc)
-	if serr != nil || n != 3 || seq == 0 {
-		return 0, 0, 0, false, fmt.Errorf("damaged marker %q", line)
-	}
-	return seq, length, crc, false, nil
-}
-
-func isMarkerLine(line []byte) bool {
-	return bytes.HasPrefix(line, []byte(commitMarkerPrefix))
-}
-
 // scanJournal walks the journal and classifies every byte: verified
 // records, legacy records, a torn tail, or corruption. It never applies
 // or decodes LDIF — that is replay's job, after the verdict.
@@ -118,7 +87,7 @@ func scanJournal(data []byte) *scanResult {
 	if len(data) == 0 {
 		return sr
 	}
-	if !bytes.Contains(data, []byte(commitMarkerPrefix)) {
+	if !bytes.Contains(data, []byte(repl.MarkerPrefix)) {
 		sr.headerless = true
 		return sr
 	}
@@ -140,7 +109,7 @@ func scanJournal(data []byte) *scanResult {
 		}
 		line := data[pos : pos+nl]
 		lineEnd := pos + nl + 1
-		if !isMarkerLine(line) {
+		if !repl.IsMarkerLine(line) {
 			pos = lineEnd
 			continue
 		}
@@ -152,7 +121,7 @@ func scanJournal(data []byte) *scanResult {
 			continue
 		}
 		payload := data[segStart:pos]
-		seq, length, crc, legacy, err := parseMarker(line)
+		seq, length, crc, legacy, err := repl.ParseMarker(line)
 		switch {
 		case err != nil:
 			fail(err.Error())
@@ -166,7 +135,7 @@ func scanJournal(data []byte) *scanResult {
 				// trailing `length` bytes check out, the rest is a
 				// headerless journal this server was upgraded over.
 				cut := len(payload) - int(length)
-				if crc32.Checksum(payload[cut:], crc32cTable) == crc {
+				if repl.Checksum(payload[cut:]) == crc {
 					sr.prefix = payload[:cut]
 					payload = payload[cut:]
 				}
@@ -174,9 +143,9 @@ func scanJournal(data []byte) *scanResult {
 			switch {
 			case int64(len(payload)) != length:
 				fail(fmt.Sprintf("record seq=%d: payload is %d bytes, marker says %d", seq, len(payload), length))
-			case crc32.Checksum(payload, crc32cTable) != crc:
+			case repl.Checksum(payload) != crc:
 				fail(fmt.Sprintf("record seq=%d: checksum mismatch (stored %08x, computed %08x)",
-					seq, crc, crc32.Checksum(payload, crc32cTable)))
+					seq, crc, repl.Checksum(payload)))
 			case expect != 0 && seq != expect:
 				fail(fmt.Sprintf("sequence break: expected seq=%d, found seq=%d", expect, seq))
 			default:

@@ -1,0 +1,711 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	"boundschema/internal/ldif"
+	"boundschema/internal/repl"
+	"boundschema/internal/txn"
+	"boundschema/internal/vfs"
+)
+
+// This file wires streaming journal replication (internal/repl) into the
+// server. A primary runs a dedicated replication listener: each replica
+// connection is handed its catch-up — the journal tail when the on-disk
+// log covers the replica's HELLO sequence, a full snapshot otherwise —
+// at a quiescent point of the commit pipeline, then subscribes to the
+// live stream of verbatim journal segments. Commits ship their records
+// right after the local fsync; in semi-sync mode the OK is additionally
+// gated on an ACK from at least one replica (repl.Hub owns that
+// contract, including the degrade-to-async escape hatch).
+//
+// A replica dials the primary and applies the stream through the same
+// machinery recovery uses: every segment is CRC- and continuity-checked
+// on receipt, decoded, applied transaction-atomically under the
+// incremental legality tests, and appended verbatim to the local journal
+// (write + fsync) before it is acknowledged — so a replica restart
+// recovers through the ordinary journal pipeline, and the primary's and
+// replica's logs are byte-identical. A replicated transaction that fails
+// locally is divergence: the replica degrades to read-only and stops
+// retrying rather than serve state that disagrees with its primary.
+//
+// PROMOTE turns a caught-up replica writable: the streaming loop is
+// stopped, the journal is re-verified end to end (checksums, sequence
+// continuity, full legality), and only then does the role flip.
+
+// Role is the server's replication role.
+type Role int32
+
+const (
+	// RolePrimary (the zero value) accepts writes; with a replication
+	// listener it also ships journal segments to replicas.
+	RolePrimary Role = iota
+	// RoleReplica applies the primary's stream and serves reads only.
+	RoleReplica
+)
+
+func (r Role) String() string {
+	if r == RoleReplica {
+		return "replica"
+	}
+	return "primary"
+}
+
+// Role returns the server's current replication role.
+func (s *Server) Role() Role { return Role(s.role.Load()) }
+
+// roleString is the role as STAT and METRICS report it: a server that
+// degraded to read-only (journal failure, divergence) says so instead
+// of claiming a healthy role.
+func (s *Server) roleString() string {
+	s.mu.RLock()
+	ro := s.readOnly
+	s.mu.RUnlock()
+	if ro != "" {
+		return "read-only degraded"
+	}
+	return s.Role().String()
+}
+
+// writeRedirect returns the rejection message for write traffic on a
+// replica ("" on a primary): replicas serve reads and point writers at
+// the primary.
+func (s *Server) writeRedirect() string {
+	if s.Role() != RoleReplica {
+		return ""
+	}
+	return fmt.Sprintf("read-only replica: writes go to the primary (redirect primary=%s)", s.primaryAddr)
+}
+
+// SetReplicationMode selects the primary's durability contract for
+// COMMIT (async or semi-sync; see repl.Mode). Call before ListenRepl.
+func (s *Server) SetReplicationMode(m repl.Mode) { s.replMode = m }
+
+// SetSemiSyncTimeout bounds how long a semi-sync commit waits for a
+// replica ACK before the primary degrades to async (0 = the
+// repl.DefaultAckTimeout). Call before ListenRepl.
+func (s *Server) SetSemiSyncTimeout(d time.Duration) { s.replAckTO = d }
+
+// ReplStatus exposes the hub's view of replication (primaries only;
+// zero value otherwise) for tests and the bsbench drivers.
+func (s *Server) ReplStatus() repl.HubStatus {
+	if hub := s.replHub.Load(); hub != nil {
+		return hub.Status()
+	}
+	return repl.HubStatus{}
+}
+
+// ReplicaSeqs reports a replica's replication watermarks: the highest
+// sequence applied locally and the primary's durable sequence as last
+// observed from the stream. Lag is primary-local (0 when caught up).
+func (s *Server) ReplicaSeqs() (local, primary uint64) {
+	s.mu.RLock()
+	local = s.commitSeq
+	s.mu.RUnlock()
+	return local, s.primarySeq.Load()
+}
+
+// replStatus feeds the role and replication lines of METRICS and the
+// expvar snapshot. Collected off s.mu by replMetrics.
+type replStatus struct {
+	role       string
+	hub        *repl.HubStatus // primary with a replication listener
+	replica    bool
+	primarySeq uint64
+	localSeq   uint64
+	applied    int64
+}
+
+func (s *Server) replMetrics() replStatus {
+	rs := replStatus{role: s.roleString()}
+	if hub := s.replHub.Load(); hub != nil {
+		st := hub.Status()
+		rs.hub = &st
+	}
+	if s.Role() == RoleReplica {
+		rs.replica = true
+		rs.localSeq, rs.primarySeq = s.ReplicaSeqs()
+		rs.applied = s.replApplied.Load()
+	}
+	return rs
+}
+
+// ListenRepl starts the primary's replication listener on addr and
+// returns the bound address. Requires an open journal — the stream IS
+// the journal. Safe to call once, before or while serving clients.
+func (s *Server) ListenRepl(addr string) (string, error) {
+	s.mu.RLock()
+	j := s.journal
+	s.mu.RUnlock()
+	if j == nil {
+		return "", errors.New("server: replication requires a journal (OpenJournal first)")
+	}
+	hub := repl.NewHub(s.replMode, s.replAckTO, 0, s.logf)
+	s.replHub.Store(hub)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		hub.Close()
+		s.replHub.Store(nil)
+		return "", err
+	}
+	s.replLn = ln
+	s.wg.Add(1)
+	go s.replAcceptLoop(ln, hub)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) replAcceptLoop(ln net.Listener, hub *repl.Hub) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			s.logf("repl: accept: %v", err)
+			return
+		}
+		s.connsMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connsMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.connsMu.Lock()
+				delete(s.conns, conn)
+				s.connsMu.Unlock()
+				conn.Close()
+			}()
+			s.handleReplConn(conn, hub)
+		}()
+	}
+}
+
+// handleReplConn serves one replica: HELLO, catch-up decision at a
+// quiescent point, then a read loop turning the replica's ACK lines
+// into hub acknowledgements. Segment writes happen on the hub's
+// per-subscriber goroutine, so a slow replica never blocks commits.
+func (s *Server) handleReplConn(conn net.Conn, hub *repl.Hub) {
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	br := bufio.NewReaderSize(conn, 16*1024)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return
+	}
+	last, err := repl.ParseHello(strings.TrimRight(line, "\r\n"))
+	if err != nil {
+		io.WriteString(conn, repl.ErrLine(err.Error()))
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	var sub *repl.Sub
+	err = s.atQuiescent(func() error {
+		first, ferr := s.replCatchup(last)
+		if ferr != nil {
+			return ferr
+		}
+		// Subscribe inside the quiescent point: the catch-up bytes were
+		// captured at exactly s.commitSeq, and the subscriber queue
+		// preserves order, so no segment can fall between catch-up and
+		// the live stream.
+		sub = hub.Subscribe(conn.RemoteAddr().String(), conn, func() { conn.Close() }, first...)
+		return nil
+	})
+	if err != nil {
+		s.logf("repl: refusing replica %s: %v", conn.RemoteAddr(), err)
+		io.WriteString(conn, repl.ErrLine(err.Error()))
+		return
+	}
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			break
+		}
+		seq, aerr := repl.ParseAck(strings.TrimRight(line, "\r\n"))
+		if aerr != nil {
+			s.logf("repl: replica %s: %v", conn.RemoteAddr(), aerr)
+			break
+		}
+		hub.Ack(sub, seq)
+	}
+	hub.Unsubscribe(sub)
+}
+
+// atQuiescent runs fn under s.mu at a point where the in-memory
+// instance equals the durable journal: directly under the lock in
+// per-transaction mode, at the committer's quiescent point in
+// group-commit mode.
+func (s *Server) atQuiescent(fn func() error) error {
+	s.mu.Lock()
+	c := s.committer
+	if c == nil {
+		defer s.mu.Unlock()
+		return fn()
+	}
+	done := c.requestQuiesce(fn)
+	s.mu.Unlock()
+	return <-done
+}
+
+// maxTailBytes bounds a journal-tail catch-up; a replica further behind
+// than this bootstraps from a snapshot instead.
+const maxTailBytes = 256 << 20
+
+// replCatchup builds the catch-up bytes for a replica that holds
+// everything through last: a TAIL header plus the verbatim journal
+// segments above last when the on-disk journal covers them cleanly, or
+// a SNAPSHOT header plus the encoded instance. Called under s.mu at a
+// quiescent point.
+func (s *Server) replCatchup(last uint64) ([][]byte, error) {
+	cur := s.commitSeq
+	if last > cur {
+		return nil, fmt.Errorf("replica is ahead of this primary (replica seq=%d, primary seq=%d): refusing to serve a diverged history", last, cur)
+	}
+	if last == cur {
+		return [][]byte{[]byte(repl.TailHeader(cur+1, 0))}, nil
+	}
+	if tail, ok := s.journalTail(last, cur); ok {
+		return [][]byte{[]byte(repl.TailHeader(last+1, int(cur-last))), tail}, nil
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s%d\n", snapshotSeqPrefix, cur)
+	if err := ldif.WriteDirectory(&buf, s.dir); err != nil {
+		return nil, fmt.Errorf("encoding snapshot: %v", err)
+	}
+	return [][]byte{[]byte(repl.SnapshotHeader(cur, buf.Len())), buf.Bytes()}, nil
+}
+
+// journalTail reconstructs the verbatim segment bytes for sequences
+// (last, cur] from the on-disk journal, reporting ok=false when the
+// journal does not cleanly cover that range (rotated past it, legacy
+// records, torn tail, corruption) — the caller falls back to a
+// snapshot. Called under s.mu at a quiescent point.
+func (s *Server) journalTail(last, cur uint64) ([]byte, bool) {
+	data, err := s.fs.ReadFile(s.journal.path)
+	if err != nil {
+		return nil, false
+	}
+	sr := scanJournal(data)
+	if sr.corrupt || sr.headerless || sr.legacy > 0 || len(sr.prefix) > 0 || sr.tornBytes > 0 {
+		return nil, false
+	}
+	if sr.firstSeq == 0 || sr.firstSeq > last+1 || sr.lastSeq != cur {
+		return nil, false
+	}
+	var buf bytes.Buffer
+	for _, jt := range sr.txns {
+		if jt.seq <= last {
+			continue
+		}
+		buf.Write(repl.RawSegment(jt.seq, jt.payload))
+		if buf.Len() > maxTailBytes {
+			return nil, false
+		}
+	}
+	return buf.Bytes(), true
+}
+
+// shipSegment hands one durable journal record to the replication hub.
+// Callers must hold the ordering point that assigned seq (s.mu on the
+// per-transaction path, the committer goroutine in group-commit mode)
+// so segments ship in journal order. Non-blocking.
+func (s *Server) shipSegment(seq uint64, raw []byte) {
+	if hub := s.replHub.Load(); hub != nil {
+		hub.Ship(seq, raw)
+	}
+}
+
+// replWaitDurable blocks until the replication durability contract for
+// seq is met — an immediate no-op unless the hub runs semi-sync. Called
+// off s.mu by the per-transaction commit path.
+func (s *Server) replWaitDurable(seq uint64) {
+	hub := s.replHub.Load()
+	if hub == nil {
+		return
+	}
+	done := make(chan error, 1)
+	hub.Gate(seq, done)
+	<-done
+}
+
+// errDiverged marks a replicated transaction this replica cannot hold:
+// an apply failure or a legality violation means the replica's state
+// disagrees with its primary's, so it degrades to read-only and the
+// streaming loop stops retrying.
+var errDiverged = errors.New("replica diverged from primary")
+
+// StartReplica puts the server in replica mode and starts the streaming
+// loop against the primary's replication address. Requires an open
+// journal. The committer (if the journal started one) is stopped:
+// replicas apply inline under the lock, so journal I/O has exactly one
+// owner. Call before Listen.
+func (s *Server) StartReplica(primaryAddr string) error {
+	s.mu.Lock()
+	if s.journal == nil {
+		s.mu.Unlock()
+		return errors.New("server: replica mode requires a journal (OpenJournal first)")
+	}
+	c := s.committer
+	s.committer = nil
+	s.mu.Unlock()
+	if c != nil {
+		c.stop()
+	}
+	s.primaryAddr = primaryAddr
+	s.promoteCh = make(chan struct{})
+	s.replicaDone = make(chan struct{})
+	s.role.Store(int32(RoleReplica))
+	go s.replicaLoop(primaryAddr)
+	return nil
+}
+
+// replicaStopped reports whether the streaming loop should exit:
+// server shutdown or promotion.
+func (s *Server) replicaStopped() bool {
+	select {
+	case <-s.closed:
+		return true
+	case <-s.promoteCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) setReplConn(c net.Conn) {
+	s.replConnMu.Lock()
+	s.replConn = c
+	s.replConnMu.Unlock()
+}
+
+func (s *Server) closeReplConn() {
+	s.replConnMu.Lock()
+	if s.replConn != nil {
+		s.replConn.Close()
+	}
+	s.replConnMu.Unlock()
+}
+
+// replicaLoop dials the primary and streams until shutdown, promotion,
+// or divergence, reconnecting with backoff on transient failures. A
+// reconnect re-runs the HELLO handshake, which heals sequence gaps: the
+// replica re-announces what it durably holds and the primary re-derives
+// the catch-up.
+func (s *Server) replicaLoop(addr string) {
+	defer close(s.replicaDone)
+	backoff := 100 * time.Millisecond
+	for {
+		if s.replicaStopped() {
+			return
+		}
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			s.logf("repl: dial %s: %v; retrying in %v", addr, err, backoff)
+			if !s.replicaSleep(backoff) {
+				return
+			}
+			backoff = minDuration(backoff*2, 3*time.Second)
+			continue
+		}
+		s.setReplConn(conn)
+		// Re-check after registering the conn: closeReplConn only closes
+		// the connection it can see, and shutdown/promotion may have run
+		// between the dial and setReplConn. The stop signal is always
+		// closed before closeReplConn, so one of the two orders holds: the
+		// closer saw this conn, or this check sees the stop.
+		if s.replicaStopped() {
+			s.setReplConn(nil)
+			conn.Close()
+			return
+		}
+		err = repl.Run(conn, replicaTarget{s})
+		s.setReplConn(nil)
+		conn.Close()
+		if errors.Is(err, errDiverged) {
+			s.logf("repl: %v; replica is read-only degraded and will not reconnect", err)
+			return
+		}
+		if s.replicaStopped() {
+			return
+		}
+		s.logf("repl: stream from %s ended: %v; reconnecting in %v", addr, err, backoff)
+		if !s.replicaSleep(backoff) {
+			return
+		}
+		backoff = minDuration(backoff*2, 3*time.Second)
+	}
+}
+
+// replicaSleep waits d, returning false if the loop should exit instead.
+func (s *Server) replicaSleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.closed:
+		return false
+	case <-s.promoteCh:
+		return false
+	}
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// replicaTarget adapts the Server to the repl.Target the streaming
+// client drives.
+type replicaTarget struct{ s *Server }
+
+func (t replicaTarget) LastSeq() uint64 {
+	t.s.mu.RLock()
+	defer t.s.mu.RUnlock()
+	return t.s.commitSeq
+}
+
+func (t replicaTarget) Bootstrap(seq uint64, snapshot []byte) error {
+	return t.s.bootstrapFromPrimary(seq, snapshot)
+}
+
+func (t replicaTarget) Apply(seg repl.Segment) error {
+	return t.s.applyReplicated(seg)
+}
+
+func (t replicaTarget) ObservePrimarySeq(seq uint64) {
+	for {
+		old := t.s.primarySeq.Load()
+		if seq <= old || t.s.primarySeq.CompareAndSwap(old, seq) {
+			return
+		}
+	}
+}
+
+// bootstrapFromPrimary installs a full snapshot from the primary: parse
+// and legality-check the blob, write it durably as the local snapshot
+// sidecar (tmp + fsync + rename + parent sync — the rotation recipe),
+// truncate the journal, and swap the served instance. The snapshot-seq
+// header inside the blob makes every crash window benign: recovery
+// either finds the old state or the new snapshot, and journal records
+// the snapshot already covers are skipped by seq on replay.
+func (s *Server) bootstrapFromPrimary(seq uint64, snapshot []byte) error {
+	d, err := ldif.ReadDirectory(bytes.NewReader(snapshot), s.schema.Registry)
+	if err != nil {
+		return fmt.Errorf("%w: primary snapshot undecodable: %v", errDiverged, err)
+	}
+	if r := s.checker.Check(d); !r.Legal() {
+		return fmt.Errorf("%w: primary snapshot is illegal under this replica's schema: %d violation(s)", errDiverged, len(r.Violations))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly != "" {
+		return fmt.Errorf("%w: server is read-only: %s", errDiverged, s.readOnly)
+	}
+	j := s.journal
+	tmp := j.snapPath + ".tmp"
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("repl: bootstrap snapshot: %v", err)
+	}
+	_, err = f.Write(snapshot)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = s.fs.Rename(tmp, j.snapPath)
+	}
+	if err != nil {
+		s.fs.Remove(tmp)
+		return fmt.Errorf("repl: bootstrap snapshot: %v", err)
+	}
+	if err := s.fs.SyncDir(vfs.DirOf(j.snapPath)); err != nil {
+		return fmt.Errorf("repl: bootstrap snapshot: parent directory sync: %v", err)
+	}
+	if err := j.f.Truncate(0); err != nil {
+		j.failed = true
+		s.readOnly = fmt.Sprintf("journal %s not truncated after bootstrap snapshot (%v)", j.path, err)
+		s.logf("repl: %s", s.readOnly)
+		return fmt.Errorf("repl: bootstrap: %v", err)
+	}
+	_ = j.f.Sync()
+	j.size = 0
+	s.dir = d
+	s.dir.EnsureEncoded()
+	s.applier.Counts = txn.NewCountIndex(d)
+	s.commitSeq = seq
+	s.metrics.JournalBytes.Store(0)
+	s.logf("repl: bootstrapped from primary snapshot through seq %d (%d bytes)", seq, len(snapshot))
+	return nil
+}
+
+// applyReplicated admits one verified segment from the primary: decode,
+// check sequence continuity, apply under the incremental legality
+// tests, append verbatim to the local journal (write + fsync). nil
+// means the segment is locally durable — the caller acknowledges it.
+// Local faults (journal I/O) roll the apply back and return a retryable
+// error; a transaction this replica cannot legally hold is divergence.
+func (s *Server) applyReplicated(seg repl.Segment) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly != "" {
+		return fmt.Errorf("%w: server is read-only: %s", errDiverged, s.readOnly)
+	}
+	if seg.Seq <= s.commitSeq {
+		return nil // duplicate after a reconnect: already durable here
+	}
+	if seg.Seq != s.commitSeq+1 {
+		return fmt.Errorf("repl: sequence gap: local seq=%d, stream sent seq=%d", s.commitSeq, seg.Seq)
+	}
+	recs, err := ldif.NewReader(bytes.NewReader(seg.Payload)).ReadAll()
+	if err != nil {
+		s.degradeReplica(fmt.Sprintf("replicated segment seq=%d undecodable: %v", seg.Seq, err))
+		return fmt.Errorf("%w: segment seq=%d undecodable: %v", errDiverged, seg.Seq, err)
+	}
+	tx, err := txn.FromRecords(recs, s.schema.Registry)
+	if err != nil {
+		s.degradeReplica(fmt.Sprintf("replicated segment seq=%d rejected: %v", seg.Seq, err))
+		return fmt.Errorf("%w: segment seq=%d: %v", errDiverged, seg.Seq, err)
+	}
+	report, undo, err := s.applier.ApplyWithUndo(s.dir, tx)
+	s.dir.EnsureEncoded()
+	if err != nil {
+		s.degradeReplica(fmt.Sprintf("replicated transaction seq=%d failed to apply: %v", seg.Seq, err))
+		return fmt.Errorf("%w: transaction seq=%d: %v", errDiverged, seg.Seq, err)
+	}
+	if !report.Legal() {
+		if uerr := undo(); uerr != nil {
+			s.degradeReplica(fmt.Sprintf("rollback of illegal replicated transaction seq=%d failed: %v", seg.Seq, uerr))
+		} else {
+			s.dir.EnsureEncoded()
+			s.degradeReplica(fmt.Sprintf("replicated transaction seq=%d is illegal on this replica: the histories have diverged", seg.Seq))
+		}
+		return fmt.Errorf("%w: transaction seq=%d is illegal here (%d violation(s))", errDiverged, seg.Seq, len(report.Violations))
+	}
+	j := s.journal
+	cw := &countingWriter{w: j.f}
+	_, werr := cw.Write(seg.Raw)
+	if werr == nil {
+		werr = s.syncJournal()
+	}
+	if werr != nil {
+		// Local fault, not divergence: roll back and let the reconnect
+		// re-deliver the segment.
+		s.metrics.JournalErrors.Add(1)
+		if uerr := undo(); uerr != nil {
+			s.degradeReplica(fmt.Sprintf("in-memory state diverged after failed journal write: %v (rollback: %v)", werr, uerr))
+		}
+		s.dir.EnsureEncoded()
+		if terr := j.f.Truncate(j.size); terr != nil {
+			j.failed = true
+			s.degradeReplica(fmt.Sprintf("journal %s unrecoverable after failed write (%v; truncate: %v)", j.path, werr, terr))
+		}
+		return fmt.Errorf("repl: journal append seq=%d: %v", seg.Seq, werr)
+	}
+	s.commitSeq = seg.Seq
+	j.size += cw.n
+	s.metrics.JournalBytes.Store(j.size)
+	s.metrics.noteBatch(1)
+	s.replApplied.Add(1)
+	if s.rotateBytes > 0 && j.size >= s.rotateBytes {
+		if rerr := s.rotateJournal(); rerr != nil {
+			s.metrics.JournalErrors.Add(1)
+			s.logf("repl: journal rotation: %v", rerr)
+		}
+	}
+	return nil
+}
+
+// degradeReplica records a replica fault and flips the server
+// read-only. Called under s.mu.
+func (s *Server) degradeReplica(reason string) {
+	if s.readOnly == "" {
+		s.readOnly = reason
+	}
+	s.logf("repl: %s", reason)
+}
+
+// Promote turns a caught-up replica into a writable primary: stop the
+// streaming loop, re-verify the local journal end to end (checksums,
+// sequence continuity, full legality), and only then flip the role.
+// The verify lines are returned for the PROMOTE protocol reply. The
+// promoted server does not start its own replication listener — that
+// remains an operator decision (restart with -repl-addr, or point the
+// other replicas at it after the failover).
+func (s *Server) Promote() ([]string, error) {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	if s.Role() != RoleReplica {
+		return nil, errors.New("not a replica")
+	}
+	s.mu.RLock()
+	reason := s.readOnly
+	s.mu.RUnlock()
+	if reason != "" {
+		return nil, fmt.Errorf("replica is read-only degraded: %s", reason)
+	}
+	select {
+	case <-s.promoteCh:
+	default:
+		close(s.promoteCh)
+	}
+	s.closeReplConn()
+	<-s.replicaDone
+	// The loop may have degraded the replica on its way out.
+	s.mu.RLock()
+	reason = s.readOnly
+	s.mu.RUnlock()
+	if reason != "" {
+		return nil, fmt.Errorf("replica is read-only degraded: %s", reason)
+	}
+	// Final verify: with the streaming loop stopped nothing appends, so
+	// the read lock is a stable point.
+	s.mu.RLock()
+	lines, err := s.verifyNow()
+	s.mu.RUnlock()
+	if err != nil {
+		return lines, fmt.Errorf("refusing promotion, journal verify failed: %v", err)
+	}
+	s.role.Store(int32(RolePrimary))
+	s.mu.Lock()
+	if s.groupCommit && s.journal != nil && s.committer == nil {
+		s.startCommitter()
+	}
+	local := s.commitSeq
+	s.mu.Unlock()
+	s.logf("repl: promoted to primary at seq %d", local)
+	return lines, nil
+}
+
+// stopReplication tears the replication machinery down at Close: the
+// hub (releasing any gated commits and dropping subscribers, whose
+// onDrop closes their connections) and the replica streaming loop.
+// Runs before the session drain so replication connections cannot hold
+// Close open.
+func (s *Server) stopReplication() {
+	if s.replLn != nil {
+		s.replLn.Close()
+	}
+	if hub := s.replHub.Load(); hub != nil {
+		hub.Close()
+	}
+	if s.replicaDone != nil {
+		s.closeReplConn()
+		<-s.replicaDone
+	}
+}

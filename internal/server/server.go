@@ -55,6 +55,7 @@ import (
 	"boundschema/internal/filter"
 	"boundschema/internal/hquery"
 	"boundschema/internal/ldif"
+	"boundschema/internal/repl"
 	"boundschema/internal/schemadsl"
 	"boundschema/internal/txn"
 	"boundschema/internal/vfs"
@@ -133,6 +134,26 @@ type Server struct {
 	// syncDelay artificially slows every journal fsync — a test and
 	// benchmark knob emulating a slow disk (see bsbench e16).
 	syncDelay atomic.Int64 // nanoseconds
+
+	// Replication (see repl.go). role flips from primary (the zero
+	// value) to replica in StartReplica and back in Promote. replHub is
+	// non-nil once ListenRepl started the primary's fan-out; replMode
+	// and replAckTO configure it. primaryAddr, promoteCh, replicaDone
+	// and replConn belong to a replica's streaming loop; primarySeq and
+	// replApplied feed the lag gauge.
+	role        atomic.Int32
+	replHub     atomic.Pointer[repl.Hub]
+	replLn      net.Listener
+	replMode    repl.Mode
+	replAckTO   time.Duration
+	primaryAddr string
+	promoteMu   sync.Mutex
+	promoteCh   chan struct{}
+	replicaDone chan struct{}
+	replConnMu  sync.Mutex
+	replConn    net.Conn
+	primarySeq  atomic.Uint64
+	replApplied atomic.Int64
 }
 
 // New creates a server over the given schema and initial instance. The
@@ -211,11 +232,12 @@ func (s *Server) SetSyncDelay(d time.Duration) { s.syncDelay.Store(int64(d)) }
 // MetricsSnapshot returns a JSON-marshalable snapshot of the server's
 // metrics, shaped for expvar.Publish(expvar.Func(srv.MetricsSnapshot)).
 func (s *Server) MetricsSnapshot() any {
+	rs := s.replMetrics()
 	s.mu.RLock()
 	journalOn := s.journal != nil
 	readOnly := s.readOnly
 	s.mu.RUnlock()
-	return s.metrics.snapshot(journalOn, readOnly)
+	return s.metrics.snapshot(journalOn, readOnly, rs)
 }
 
 // JournalStats reports the durability amortization counters: fsyncs the
@@ -261,6 +283,10 @@ func (s *Server) Close() error {
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
+	// Tear replication down before the drain: the hub releases any
+	// semi-sync gates and closes replica connections (whose handler
+	// goroutines are in s.wg), and a replica's streaming loop stops.
+	s.stopReplication()
 	drain := s.drainTimeout()
 	deadline := time.Now().Add(drain)
 	s.connsMu.Lock()
@@ -535,6 +561,10 @@ func (se *session) handle(line string) bool {
 	case "GET":
 		se.get(rest)
 	case "BEGIN":
+		if hint := se.srv.writeRedirect(); hint != "" {
+			se.err(hint)
+			break
+		}
 		se.tx = &txn.Transaction{}
 		se.srv.metrics.TxActive.Add(1)
 		se.ok()
@@ -553,6 +583,8 @@ func (se *session) handle(line string) bool {
 		se.snapshotCmd()
 	case "VERIFY":
 		se.verifyCmd()
+	case "PROMOTE":
+		se.promoteCmd()
 	default:
 		se.cmd = "UNKNOWN"
 		se.err(fmt.Sprintf("unknown command %q", cmd))
@@ -684,6 +716,10 @@ func (se *session) commit() {
 // failures and "commit not durable". Metrics are updated here, so
 // session and non-session commits are counted identically.
 func (s *Server) CommitTx(tx *txn.Transaction) (*core.Report, error) {
+	if hint := s.writeRedirect(); hint != "" {
+		s.metrics.TxErrors.Add(1)
+		return nil, errors.New(hint)
+	}
 	s.mu.Lock()
 	if s.readOnly != "" {
 		reason := s.readOnly
@@ -715,7 +751,8 @@ func (s *Server) CommitTx(tx *txn.Transaction) (*core.Report, error) {
 	if s.committer == nil {
 		// Per-transaction durability (group commit off): write + fsync
 		// under the write lock, as the pre-batching server did.
-		if jerr := s.appendCommit(tx); jerr != nil {
+		seq, jerr := s.appendCommit(tx)
+		if jerr != nil {
 			// Not durable: roll the in-memory state back so the ERR reply
 			// and the journal agree that this transaction never happened.
 			if uerr := undo(); uerr != nil {
@@ -728,6 +765,10 @@ func (s *Server) CommitTx(tx *txn.Transaction) (*core.Report, error) {
 			return nil, fmt.Errorf("commit not durable: %v", jerr)
 		}
 		s.mu.Unlock()
+		// Semi-sync: wait for the replication contract off the lock. The
+		// wait never fails a locally durable commit (repl.Hub degrades
+		// to async instead), so OK is unconditional from here.
+		s.replWaitDurable(seq)
 		s.metrics.TxCommitted.Add(1)
 		return report, nil
 	}
@@ -749,7 +790,7 @@ func (s *Server) CommitTx(tx *txn.Transaction) (*core.Report, error) {
 	seq := s.commitSeq + 1
 	// The checksummed marker terminates the transaction for atomic replay;
 	// it covers exactly the payload bytes written so far.
-	buf.WriteString(commitMarkerLine(seq, buf.Bytes()))
+	buf.WriteString(repl.MarkerLine(seq, buf.Bytes()))
 	s.commitSeq = seq
 	req := &commitReq{seq: seq, data: buf.Bytes(), undo: undo, done: make(chan error, 1)}
 	s.committer.stage(req)
@@ -858,8 +899,10 @@ func (se *session) consistent() {
 }
 
 func (se *session) stat() {
+	role := se.srv.roleString()
 	se.srv.mu.RLock()
 	defer se.srv.mu.RUnlock()
+	se.reply("role: " + role)
 	se.reply(fmt.Sprintf("entries: %d", se.srv.dir.Len()))
 	names := se.srv.dir.ClassNames()
 	sort.Strings(names)
@@ -871,11 +914,25 @@ func (se *session) stat() {
 
 func (se *session) metricsCmd() {
 	s := se.srv
+	rs := s.replMetrics()
 	s.mu.RLock()
 	journalOn := s.journal != nil
 	readOnly := s.readOnly
 	s.mu.RUnlock()
-	se.reply(s.metrics.lines(journalOn, readOnly)...)
+	se.reply(s.metrics.lines(journalOn, readOnly, rs)...)
+	se.ok()
+}
+
+func (se *session) promoteCmd() {
+	lines, err := se.srv.Promote()
+	for _, l := range lines {
+		se.reply("# " + l)
+	}
+	if err != nil {
+		se.err(err.Error())
+		return
+	}
+	se.reply("# promoted: now primary")
 	se.ok()
 }
 
