@@ -40,7 +40,8 @@ type groupCommitMode struct {
 }
 
 type groupCommitResult struct {
-	Experiment  string            `json:"experiment"`
+	Experiment string `json:"experiment"`
+	envInfo
 	SyncDelayMs int64             `json:"sync_delay_ms"`
 	Modes       []groupCommitMode `json:"modes"`
 	Speedup     float64           `json:"speedup_group_vs_per_txn"`
@@ -208,7 +209,7 @@ func runE16() {
 	fmt.Printf("%d writers x %d commits each, artificial fsync latency %v\n\n",
 		writers, commitsPer, syncDelay)
 
-	res := groupCommitResult{Experiment: "e16-group-commit", SyncDelayMs: syncDelay.Milliseconds()}
+	res := groupCommitResult{Experiment: "e16-group-commit", envInfo: env("whitepages"), SyncDelayMs: syncDelay.Milliseconds()}
 	var perTxn, grouped groupCommitMode
 	for _, group := range []bool{false, true} {
 		m, err := e16Mode(group, writers, commitsPer, syncDelay)

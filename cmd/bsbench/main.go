@@ -34,7 +34,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 )
+
+// envInfo stamps every experiment JSON with the hardware context and
+// the scenario/schema the numbers were measured on, so committed
+// baselines are comparable across machines and corpora.
+type envInfo struct {
+	CPUs       int    `json:"cpus"`
+	Gomaxprocs int    `json:"gomaxprocs"`
+	Scenario   string `json:"scenario"`
+}
+
+func env(scenario string) envInfo {
+	return envInfo{CPUs: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0), Scenario: scenario}
+}
 
 var (
 	quick    = flag.Bool("quick", false, "smaller sweeps")

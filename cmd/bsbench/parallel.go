@@ -25,9 +25,9 @@ type parallelBenchRow struct {
 }
 
 type parallelBenchResult struct {
-	Experiment       string             `json:"experiment"`
+	Experiment string `json:"experiment"`
+	envInfo
 	Entries          int                `json:"entries"`
-	GOMAXPROCS       int                `json:"gomaxprocs"`
 	ReportsIdentical bool               `json:"reports_identical"`
 	Rows             []parallelBenchRow `json:"rows"`
 }
@@ -49,8 +49,8 @@ func runE13() {
 
 	res := parallelBenchResult{
 		Experiment:       "e13-parallel-legality",
+		envInfo:          env("whitepages"),
 		Entries:          d.Len(),
-		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		ReportsIdentical: true,
 		Rows: []parallelBenchRow{
 			{Workers: 1, CheckNs: base.Nanoseconds(), Speedup: 1.0},

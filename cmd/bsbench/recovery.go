@@ -36,8 +36,9 @@ type recoveryPoint struct {
 }
 
 type recoveryResult struct {
-	Experiment string          `json:"experiment"`
-	Points     []recoveryPoint `json:"points"`
+	Experiment string `json:"experiment"`
+	envInfo
+	Points []recoveryPoint `json:"points"`
 }
 
 // e17Build drives n sequential commits into a fresh journal under dir
@@ -108,7 +109,7 @@ func runE17() {
 	fmt.Println("cold-start recovery over journals of increasing length (per-commit checksummed records)")
 	fmt.Println()
 
-	res := recoveryResult{Experiment: "e17-crash-recovery"}
+	res := recoveryResult{Experiment: "e17-crash-recovery", envInfo: env("whitepages")}
 	run := func(n int, snapshot bool) error {
 		dir, err := os.MkdirTemp("", "bsbench-e17-")
 		if err != nil {

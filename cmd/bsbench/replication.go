@@ -55,10 +55,10 @@ type replCommitPoint struct {
 }
 
 type replResult struct {
-	Experiment string            `json:"experiment"`
-	CPUs       int               `json:"cpus"`
-	Reads      []replReadPoint   `json:"reads"`
-	Commits    []replCommitPoint `json:"commits"`
+	Experiment string `json:"experiment"`
+	envInfo
+	Reads   []replReadPoint   `json:"reads"`
+	Commits []replCommitPoint `json:"commits"`
 }
 
 // e18Cluster builds a journaled primary with seeded commits plus n
@@ -197,7 +197,7 @@ func runE18() {
 		seed, clients, opsPerClient, commits = 100, 6, 60, 80
 	}
 	replicaCounts := []int{0, 1, 2}
-	res := replResult{Experiment: "e18-replication", CPUs: runtime.NumCPU()}
+	res := replResult{Experiment: "e18-replication", envInfo: env("whitepages")}
 
 	fmt.Printf("read fan-out: %d clients round-robin over the serving nodes, %d SEARCHes each (best of 2 rounds, %d CPUs)\n\n", clients, opsPerClient, runtime.NumCPU())
 	var base float64

@@ -11,7 +11,7 @@
 //	    [-drain-timeout 1s] [-journal-rotate 0] [-metrics-addr host:port]
 //	    [-group-commit=true] [-commit-delay 0] [-fsck]
 //	    [-repl-addr host:port] [-repl-mode async|semisync]
-//	    [-replica-of host:port]
+//	    [-replica-of host:port] [-primary-client-addr host:port]
 //
 // Replication: -repl-addr makes this server a primary shipping its
 // journal to replicas; -repl-mode semisync gates COMMIT's OK on a
@@ -80,6 +80,7 @@ func main() {
 	replAddr := flag.String("repl-addr", "", "serve journal replication to replicas on this address (empty = off)")
 	replModeName := flag.String("repl-mode", "async", "replication mode: async, or semisync to gate COMMIT on a replica ack")
 	replicaOf := flag.String("replica-of", "", "run as a read-only replica streaming from this primary replication address")
+	primaryClient := flag.String("primary-client-addr", "", "with -replica-of: the primary's CLIENT address to advertise in write redirects (empty = advertise the replication address)")
 	flag.Parse()
 	if *schemaPath == "" {
 		fmt.Fprintln(os.Stderr, "bsd: -schema is required")
@@ -171,6 +172,9 @@ func main() {
 	if *replicaOf != "" {
 		if err := srv.StartReplica(*replicaOf); err != nil {
 			fatal(err)
+		}
+		if *primaryClient != "" {
+			srv.SetPrimaryClientAddr(*primaryClient)
 		}
 		fmt.Printf("bsd: read-only replica of %s\n", *replicaOf)
 	}

@@ -6,8 +6,10 @@
 // Usage:
 //
 //	bsgen schema                 > whitepages.bs
+//	bsgen schema -scenario netpolicy > netpolicy.bs
 //	bsgen figure1                > figure1.ldif
 //	bsgen corpus  -n 10000       > corpus.ldif
+//	bsgen corpus  -n 10000 -scenario semistructured > corpus.ldif
 //	bsgen updates -n 50 -corpus corpus.ldif > changes.ldif
 //	bsgen randschema -classes 20 -required 10 -forbidden 5 > rand.bs
 package main
@@ -30,7 +32,7 @@ func main() {
 	var err error
 	switch os.Args[1] {
 	case "schema":
-		fmt.Print(boundschema.FormatSchema(workload.WhitePagesSchema(), "whitepages"))
+		err = cmdSchema(os.Args[2:])
 	case "figure1":
 		s := workload.WhitePagesSchema()
 		err = boundschema.WriteLDIF(os.Stdout, workload.WhitePagesInstance(s))
@@ -55,20 +57,52 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: bsgen <command> [flags]
 
 commands:
-  schema      print the paper's white-pages bounding-schema
+  schema      print a scenario's bounding-schema (-scenario whitepages|netpolicy|semistructured)
   figure1     print the Figure 1 instance as LDIF
-  corpus      generate a legal white-pages-shaped corpus
+  corpus      generate a legal corpus for a scenario (-scenario, -n, -seed)
   updates     generate an LDIF change stream for a corpus
   randschema  generate a random bounding-schema`)
+}
+
+// scenarioFuncs resolves a -scenario name to its schema and corpus
+// generators (the same generators internal/loadgen drives, so a bsd
+// seeded here matches what bsload's external mode expects).
+func scenarioFuncs(name string) (func() *boundschema.Schema, func(*boundschema.Schema, *rand.Rand, int) *boundschema.Directory, error) {
+	switch name {
+	case "whitepages":
+		return workload.WhitePagesSchema, workload.Corpus, nil
+	case "netpolicy":
+		return workload.NetPolicySchema, workload.NetPolicyCorpus, nil
+	case "semistructured":
+		return workload.SemiStructSchema, workload.SemiStructCorpus, nil
+	}
+	return nil, nil, fmt.Errorf("unknown scenario %q (whitepages, netpolicy, semistructured)", name)
+}
+
+func cmdSchema(args []string) error {
+	fs := flag.NewFlagSet("schema", flag.ExitOnError)
+	scenario := fs.String("scenario", "whitepages", "whitepages, netpolicy, or semistructured")
+	fs.Parse(args)
+	newSchema, _, err := scenarioFuncs(*scenario)
+	if err != nil {
+		return err
+	}
+	fmt.Print(boundschema.FormatSchema(newSchema(), *scenario))
+	return nil
 }
 
 func cmdCorpus(args []string) error {
 	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
 	n := fs.Int("n", 1000, "approximate number of entries")
 	seed := fs.Int64("seed", 1, "random seed")
+	scenario := fs.String("scenario", "whitepages", "whitepages, netpolicy, or semistructured")
 	fs.Parse(args)
-	s := workload.WhitePagesSchema()
-	d := workload.Corpus(s, rand.New(rand.NewSource(*seed)), *n)
+	newSchema, newCorpus, err := scenarioFuncs(*scenario)
+	if err != nil {
+		return err
+	}
+	s := newSchema()
+	d := newCorpus(s, rand.New(rand.NewSource(*seed)), *n)
 	return boundschema.WriteLDIF(os.Stdout, d)
 }
 

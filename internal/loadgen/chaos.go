@@ -1,0 +1,292 @@
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"boundschema/internal/core"
+	"boundschema/internal/ldif"
+	"boundschema/internal/repl"
+	"boundschema/internal/vfs"
+)
+
+// Chaos scenarios: each runs real load against a real cluster, injures
+// it mid-run (role flip, disk fault, dropped connections), and ends
+// with the convergence oracle. They are plain functions returning a
+// report + error so both the -race tests and cmd/bsload can drive them.
+
+// ChaosConfig sizes a chaos run.
+type ChaosConfig struct {
+	Scenario *Scenario
+	CorpusN  int
+	Workers  int
+	Duration time.Duration
+	Seed     int64
+}
+
+// ChaosReport is a chaos scenario's outcome: the load result observed
+// while the cluster was being injured, plus scenario notes.
+type ChaosReport struct {
+	Name  string   `json:"name"`
+	Load  *Result  `json:"load"`
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Failover kills the primary of a 1-primary/2-replica cluster mid-load,
+// PROMOTEs the first replica over the wire while workers are still
+// hammering it (racing the role flip: pre-promotion writes bounce with
+// redirects, post-promotion writes succeed), repoints the traffic, and
+// finishes the run on the promoted node. The oracle then runs over the
+// promoted node plus a fresh replica hung off it — byte identity across
+// a full failover — and the orphaned second replica must still serve a
+// legal instance.
+func Failover(cfg ChaosConfig) (*ChaosReport, error) {
+	cl, err := StartCluster(cfg.Scenario, cfg.CorpusN, 2, cfg.Seed, repl.Async)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	r0, r1 := cl.Replicas[0], cl.Replicas[1]
+	target := cl.Target()
+	opts := Options{
+		Scenario: cfg.Scenario, Pools: cl.Pools, Mix: Churn(),
+		Workers: cfg.Workers, Duration: cfg.Duration, Seed: cfg.Seed,
+		FollowRedirects: true, CorpusEntries: cl.CorpusEntries, Cluster: "1p+2r failover",
+	}
+	type runOut struct {
+		res *Result
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		res, err := Run(opts, target)
+		done <- runOut{res, err}
+	}()
+
+	time.Sleep(cfg.Duration * 2 / 5)
+	cl.Primary.Srv.Close() // pull the plug on the primary mid-load
+
+	// Promote r0 over the wire while workers still race it with writes.
+	if err := promote(r0.Addr, 10*time.Second); err != nil {
+		<-done
+		return nil, fmt.Errorf("failover: %v", err)
+	}
+	target.SetWrite(r0.Addr)
+	target.SetReads(r0.Addr, r1.Addr)
+	// Enforce the new topology until the run ends: a worker applying a
+	// stale pre-promotion redirect may briefly point the shared target
+	// back at the dead primary.
+	enforce := time.NewTicker(20 * time.Millisecond)
+	defer enforce.Stop()
+	var out runOut
+	for out.res == nil && out.err == nil {
+		select {
+		case out = <-done:
+		case <-enforce.C:
+			target.SetWrite(r0.Addr)
+		}
+	}
+	if out.err != nil {
+		return nil, out.err
+	}
+	if out.res.Committed == 0 {
+		return nil, fmt.Errorf("failover: no transaction ever committed")
+	}
+
+	// The promoted node opens its own replication listener and a fresh
+	// replica catches up from it; both must converge byte-identically.
+	replAddr, err := r0.Srv.ListenRepl("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("failover: repl listener on promoted node: %v", err)
+	}
+	fresh, err := cl.AddReplica("post-failover", replAddr, r0.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("failover: fresh replica: %v", err)
+	}
+	if err := Converge([]*Node{r0, fresh}, 30*time.Second); err != nil {
+		return nil, fmt.Errorf("failover: %v", err)
+	}
+	if err := Oracle(cl.Schema, []*Node{r0, fresh}); err != nil {
+		return nil, fmt.Errorf("failover: %v", err)
+	}
+	// The orphan kept streaming from a dead primary; whatever prefix it
+	// holds must still be a legal instance.
+	if err := legalInstance(cl.Schema, r1); err != nil {
+		return nil, fmt.Errorf("failover: orphaned replica: %v", err)
+	}
+	return &ChaosReport{
+		Name: "failover",
+		Load: out.res,
+		Notes: []string{
+			fmt.Sprintf("promoted %s mid-load; %d redirects, %d conn errors observed",
+				r0.Name, out.res.Errors[ErrRedirect], out.res.Errors[ErrConn]),
+			fmt.Sprintf("post-failover replica converged at seq %d", seqOf(fresh)),
+		},
+	}, nil
+}
+
+// promote sends PROMOTE, retrying while the replica sorts itself out.
+// "not a replica" counts as success: someone else's PROMOTE won the
+// race, which is exactly the scenario's point.
+func promote(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err := Dial(addr)
+		if err == nil {
+			resp, derr := c.Do("PROMOTE")
+			c.Close()
+			if derr == nil && resp.OK() {
+				return nil
+			}
+			if derr == nil && strings.Contains(resp.Err, "not a replica") {
+				return nil
+			}
+			err = fmt.Errorf("PROMOTE: %s %s", resp.Term, resp.Err)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("promote %s: %v", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// FaultUnderLoad injects one scripted disk fault (crash, torn write, or
+// fsync error) into a single node's journal mid-load, lets the run play
+// out against the injured server, then pulls the plug, recovers the
+// durable state, and restarts. The invariant under test is the
+// durability contract under concurrency: every COMMIT a worker saw OK'd
+// survives recovery (recovered sequence ≥ OK count), and the recovered
+// instance passes VERIFY and the full-engine oracle.
+func FaultUnderLoad(cfg ChaosConfig, kind vfs.FaultKind) (*ChaosReport, error) {
+	cl, err := StartSingle(cfg.Scenario, cfg.CorpusN, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	target := cl.Target()
+	opts := Options{
+		Scenario: cfg.Scenario, Pools: cl.Pools, Mix: OLAP(),
+		Workers: cfg.Workers, Duration: cfg.Duration, Seed: cfg.Seed,
+		CorpusEntries: cl.CorpusEntries, Cluster: "single+" + kind.String(),
+	}
+	type runOut struct {
+		res *Result
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		res, err := Run(opts, target)
+		done <- runOut{res, err}
+	}()
+
+	time.Sleep(cfg.Duration * 2 / 5)
+	fs := cl.Primary.FS
+	fs.SetScript(vfs.FaultPoint{Op: fs.OpCount() + 3, Kind: kind})
+	out := <-done
+	if out.err != nil {
+		return nil, out.err
+	}
+
+	// Power loss: volatile state gone, durable state survives.
+	cl.Primary.Srv.Close()
+	fs.Recover()
+	node, schema, err := cl.RestartNode("recovered", fs)
+	if err != nil {
+		return nil, fmt.Errorf("fault %s: %v", kind, err)
+	}
+	defer node.Srv.Close()
+	if got, want := seqOf(node), uint64(out.res.Committed); got < want {
+		return nil, fmt.Errorf("fault %s: durability violated: %d commits were OK'd but recovery reached seq %d",
+			kind, want, got)
+	}
+	if err := Oracle(schema, []*Node{node}); err != nil {
+		return nil, fmt.Errorf("fault %s: %v", kind, err)
+	}
+	return &ChaosReport{
+		Name: "fault-" + kind.String(),
+		Load: out.res,
+		Notes: []string{
+			fmt.Sprintf("%d commits OK'd; recovery reached seq %d", out.res.Committed, seqOf(node)),
+			fmt.Sprintf("errors under fault: not_durable=%d read_only=%d conn=%d",
+				out.res.Errors[ErrNotDurable], out.res.Errors[ErrReadOnly], out.res.Errors[ErrConn]),
+		},
+	}, nil
+}
+
+// ConnStorm runs a 1-primary/2-replica cluster where every worker
+// drops and re-dials its connections every few ops while the
+// replication links are repeatedly severed mid-stream. The streaming
+// loop's reconnect-and-handshake path must heal every gap: the cluster
+// ends converged and byte-identical.
+func ConnStorm(cfg ChaosConfig) (*ChaosReport, error) {
+	cl, err := StartCluster(cfg.Scenario, cfg.CorpusN, 2, cfg.Seed, repl.Async)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	target := cl.Target()
+	opts := Options{
+		Scenario: cfg.Scenario, Pools: cl.Pools, Mix: Churn(),
+		Workers: cfg.Workers, Duration: cfg.Duration, Seed: cfg.Seed,
+		DropConnEvery: 7, CorpusEntries: cl.CorpusEntries, Cluster: "1p+2r connstorm",
+	}
+	type runOut struct {
+		res *Result
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		res, err := Run(opts, target)
+		done <- runOut{res, err}
+	}()
+
+	// Sever replication links for the whole run.
+	drops := 0
+	sever := time.NewTicker(cfg.Duration / 10)
+	defer sever.Stop()
+	var out runOut
+	for out.res == nil && out.err == nil {
+		select {
+		case out = <-done:
+		case <-sever.C:
+			cl.Replicas[drops%2].Srv.DisconnectReplication()
+			drops++
+		}
+	}
+	if out.err != nil {
+		return nil, out.err
+	}
+	if out.res.Committed == 0 {
+		return nil, fmt.Errorf("connstorm: no transaction ever committed")
+	}
+	if err := Converge(cl.Nodes(), 30*time.Second); err != nil {
+		return nil, fmt.Errorf("connstorm: %v", err)
+	}
+	if err := Oracle(cl.Schema, cl.Nodes()); err != nil {
+		return nil, fmt.Errorf("connstorm: %v", err)
+	}
+	return &ChaosReport{
+		Name:  "connstorm",
+		Load:  out.res,
+		Notes: []string{fmt.Sprintf("replication links severed %d times; %d commits; cluster byte-identical", drops, out.res.Committed)},
+	}, nil
+}
+
+// legalInstance re-parses one node's served instance and checks it with
+// the full engine — the weaker oracle for nodes that legitimately lag
+// (an orphaned replica whose primary died).
+func legalInstance(schema *core.Schema, n *Node) error {
+	ld, err := nodeLDIF(n)
+	if err != nil {
+		return err
+	}
+	d, err := ldif.ReadDirectory(strings.NewReader(ld), schema.Registry)
+	if err != nil {
+		return err
+	}
+	if r := core.NewChecker(schema).Check(d); !r.Legal() {
+		return fmt.Errorf("instance illegal:\n%s", r)
+	}
+	return nil
+}

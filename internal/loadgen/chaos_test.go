@@ -1,0 +1,75 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"boundschema/internal/vfs"
+)
+
+// chaosConfig sizes a chaos scenario for CI: short enough for the
+// -race smoke job, long enough that the injury lands mid-traffic.
+// LOADGEN_FULL=1 stretches the runs for the nightly matrix.
+func chaosConfig(t *testing.T, scenario string) ChaosConfig {
+	sc, ok := ScenarioByName(scenario)
+	if !ok {
+		t.Fatalf("unknown scenario %q", scenario)
+	}
+	cfg := ChaosConfig{
+		Scenario: sc,
+		CorpusN:  300,
+		Workers:  4,
+		Duration: 1500 * time.Millisecond,
+		Seed:     11,
+	}
+	if full() {
+		cfg.CorpusN = 5000
+		cfg.Workers = 8
+		cfg.Duration = 8 * time.Second
+	}
+	return cfg
+}
+
+// TestChaosFailover kills the primary mid-load, promotes a replica
+// while workers race it, and requires the promoted lineage to end
+// byte-identical with a fresh replica and the orphan still legal.
+func TestChaosFailover(t *testing.T) {
+	rep, err := Failover(chaosConfig(t, "whitepages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Load.Committed == 0 {
+		t.Fatal("no commits across the failover")
+	}
+	t.Logf("failover: committed=%d errors=%v", rep.Load.Committed, rep.Load.Errors)
+}
+
+// TestChaosFaultsUnderLoad scripts each fault kind into the journal
+// mid-load and requires every OK'd commit to survive recovery.
+func TestChaosFaultsUnderLoad(t *testing.T) {
+	kinds := []vfs.FaultKind{vfs.FaultCrash, vfs.FaultTornWrite, vfs.FaultSyncErr}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			rep, err := FaultUnderLoad(chaosConfig(t, "netpolicy"), kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: committed=%d errors=%v", rep.Name, rep.Load.Committed, rep.Load.Errors)
+		})
+	}
+}
+
+// TestChaosConnStorm churns every client connection and repeatedly
+// severs the replication links; the cluster must still converge to
+// byte identity.
+func TestChaosConnStorm(t *testing.T) {
+	rep, err := ConnStorm(chaosConfig(t, "semistructured"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Load.Committed == 0 {
+		t.Fatal("no commits during the storm")
+	}
+	t.Logf("connstorm: %v", rep.Notes)
+}

@@ -1,0 +1,47 @@
+package loadgen
+
+import (
+	"sort"
+	"time"
+)
+
+// hist collects raw latency samples for one op kind in one worker.
+// Workers never share a hist, so there is no locking; the runner merges
+// them after the workers join. Raw samples (not pre-bucketed) keep the
+// client-side quantiles exact, which matters when comparing against the
+// server's power-of-two METRICS histograms.
+type hist struct {
+	samples []time.Duration
+}
+
+func (h *hist) note(d time.Duration) { h.samples = append(h.samples, d) }
+
+func (h *hist) merge(o *hist) { h.samples = append(h.samples, o.samples...) }
+
+// LatencyStats is the JSON-facing quantile summary in microseconds.
+type LatencyStats struct {
+	Count int   `json:"count"`
+	P50us int64 `json:"p50_us"`
+	P95us int64 `json:"p95_us"`
+	P99us int64 `json:"p99_us"`
+	MaxUs int64 `json:"max_us"`
+}
+
+// stats sorts and summarizes; the zero LatencyStats means no samples.
+func (h *hist) stats() LatencyStats {
+	if len(h.samples) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+	q := func(p float64) int64 {
+		i := int(p * float64(len(h.samples)-1))
+		return h.samples[i].Microseconds()
+	}
+	return LatencyStats{
+		Count: len(h.samples),
+		P50us: q(0.50),
+		P95us: q(0.95),
+		P99us: q(0.99),
+		MaxUs: h.samples[len(h.samples)-1].Microseconds(),
+	}
+}

@@ -1,0 +1,209 @@
+package loadgen
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"boundschema/internal/repl"
+)
+
+// full reports whether the nightly/manual matrix is enabled
+// (LOADGEN_FULL=1); the default sizes keep the suite CI-fast.
+func full() bool { return os.Getenv("LOADGEN_FULL") != "" }
+
+func corpusSize(t *testing.T) int {
+	if full() {
+		return 10000
+	}
+	return 400
+}
+
+func TestMixPresetsValidAndDeckExact(t *testing.T) {
+	for _, m := range Presets() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%v", err)
+		}
+		deck := m.Deck(rand.New(rand.NewSource(1)))
+		if len(deck) != 100 {
+			t.Fatalf("mix %s: deck has %d slots", m.Name, len(deck))
+		}
+		counts := map[OpKind]int{}
+		for _, k := range deck {
+			counts[k]++
+		}
+		want := map[OpKind]int{OpCreate: m.Create, OpRead: m.Read, OpUpdate: m.Update, OpDelete: m.Delete, OpQuery: m.Query}
+		for k, n := range want {
+			if counts[k] != n {
+				t.Errorf("mix %s: %s share = %d, want %d", m.Name, k, counts[k], n)
+			}
+		}
+	}
+	if err := (Mix{Name: "bad", Create: 50}).Validate(); err == nil {
+		t.Error("mix summing to 50 validated")
+	}
+}
+
+// TestSingleNodeAllScenariosAllPresets is the tentpole smoke: every
+// scenario × every preset against a journaled single node, with the
+// infer-nothing property (nothing the generators produce may come back
+// ILLEGAL) and the full convergence oracle at the end.
+func TestSingleNodeAllScenariosAllPresets(t *testing.T) {
+	ops := 40
+	if full() {
+		ops = 400
+	}
+	for _, sc := range Scenarios() {
+		for _, mix := range Presets() {
+			t.Run(sc.Name+"/"+mix.Name, func(t *testing.T) {
+				cl, err := StartSingle(sc, corpusSize(t), 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer cl.Close()
+				res, err := Run(Options{
+					Scenario: sc, Pools: cl.Pools, Mix: mix,
+					Workers: 4, OpsPerWorker: ops, Seed: 42,
+					CorpusEntries: cl.CorpusEntries, Cluster: "single",
+				}, cl.Target())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Errors[ErrIllegal] > 0 {
+					t.Fatalf("generator produced %d ILLEGAL batches — schema-respecting ops must never be rejected", res.Errors[ErrIllegal])
+				}
+				if n := res.Errors[ErrOther]; n > 0 {
+					t.Fatalf("%d unclassified ERR replies under load", n)
+				}
+				if mix.Create > 0 && res.Committed == 0 {
+					t.Fatal("write mix committed nothing")
+				}
+				if mix.Read > 0 && res.PerOp["read"].Count == 0 {
+					t.Fatal("read mix recorded no read latencies")
+				}
+				if res.TotalOps != 4*ops {
+					t.Errorf("total ops = %d, want %d", res.TotalOps, 4*ops)
+				}
+				if err := Oracle(cl.Schema, cl.Nodes()); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestConsecutiveRunsDisjointNamespaces pins the bench-suite bug the
+// key index exposed: back-to-back runs against one live node must use
+// disjoint worker-id ranges (Options.FirstWorker), or run 2's worker 0
+// re-creates run 1's DNs and — on the keyed netpolicy schema —
+// re-issues its ipAddress values, which the server now rejects.
+func TestConsecutiveRunsDisjointNamespaces(t *testing.T) {
+	sc, _ := ScenarioByName("netpolicy")
+	cl, err := StartSingle(sc, corpusSize(t), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for run := 0; run < 3; run++ {
+		res, err := Run(Options{
+			Scenario: sc, Pools: cl.Pools, Mix: OLAP(),
+			Workers: 3, OpsPerWorker: 40, Seed: 5,
+			FirstWorker:   run * 100,
+			CorpusEntries: cl.CorpusEntries, Cluster: "single",
+		}, cl.Target())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := res.Errors[ErrIllegal] + res.Errors[ErrOther]; n > 0 {
+			t.Fatalf("run %d: %d collision errors %v — worker namespaces overlap", run, n, res.Errors)
+		}
+		if res.Committed == 0 {
+			t.Fatalf("run %d committed nothing", run)
+		}
+	}
+	if err := Oracle(cl.Schema, cl.Nodes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterOLTPReplicaReads drives OLTP against a 1-primary/2-replica
+// cluster: writes to the primary, reads served by the replicas, then
+// convergence and the byte-identity oracle across all three nodes.
+func TestClusterOLTPReplicaReads(t *testing.T) {
+	sc, _ := ScenarioByName("whitepages")
+	cl, err := StartCluster(sc, corpusSize(t), 2, 7, repl.SemiSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := Run(Options{
+		Scenario: sc, Pools: cl.Pools, Mix: OLTP(),
+		Workers: 4, OpsPerWorker: 50, Seed: 9,
+		CorpusEntries: cl.CorpusEntries, Cluster: "1p+2r",
+	}, cl.Target())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reads go to replicas, writes to the primary: a healthy cluster
+	// never redirects.
+	if res.Errors[ErrRedirect] > 0 {
+		t.Errorf("%d redirects in a stable cluster", res.Errors[ErrRedirect])
+	}
+	if res.Errors[ErrIllegal] > 0 {
+		t.Errorf("%d illegal batches", res.Errors[ErrIllegal])
+	}
+	if res.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if err := Converge(cl.Nodes(), 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := Oracle(cl.Schema, cl.Nodes()); err != nil {
+		t.Fatal(err)
+	}
+	if res.Server["COMMIT"].Count == 0 {
+		t.Error("METRICS scrape saw no COMMIT commands on the primary")
+	}
+}
+
+// TestRedirectAdvertisesClientAddr pins the bug the harness found: a
+// replica's write redirect must advertise the primary's CLIENT address
+// (dialable, speaks the protocol), not its replication listener.
+func TestRedirectAdvertisesClientAddr(t *testing.T) {
+	sc, _ := ScenarioByName("whitepages")
+	cl, err := StartCluster(sc, 100, 1, 3, repl.Async)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c, err := Dial(cl.Replicas[0].Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Do("BEGIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Term != "ERR" {
+		t.Fatalf("BEGIN on a replica: %q, want ERR", resp.Term)
+	}
+	addr := RedirectAddr(resp.Err)
+	if addr != cl.Primary.Addr {
+		t.Fatalf("redirect advertises %q, want the primary client addr %q (repl addr is %q)",
+			addr, cl.Primary.Addr, cl.Primary.ReplAddr)
+	}
+	// Following the redirect must land on a server that accepts the write.
+	p, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("advertised primary not dialable: %v", err)
+	}
+	defer p.Close()
+	if resp, err := p.Do("BEGIN"); err != nil || !resp.OK() {
+		t.Fatalf("BEGIN on advertised primary: %v %v", resp, err)
+	}
+	if resp, err := p.Do("ABORT"); err != nil || !resp.OK() {
+		t.Fatalf("ABORT on advertised primary: %v %v", resp, err)
+	}
+}

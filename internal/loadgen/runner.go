@@ -1,0 +1,375 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Target is the mutable address book the workers dial. Chaos scenarios
+// repoint it mid-run (failover moves the write address to the promoted
+// replica), and workers re-resolve it on every reconnect, so traffic
+// follows the cluster through role flips without restarting the run.
+type Target struct {
+	mu    sync.RWMutex
+	write string
+	reads []string
+}
+
+// NewTarget builds a target: writes to write, reads round-robined over
+// reads (defaulting to the write address when none are given).
+func NewTarget(write string, reads ...string) *Target {
+	if len(reads) == 0 {
+		reads = []string{write}
+	}
+	return &Target{write: write, reads: reads}
+}
+
+// SetWrite repoints the write address.
+func (t *Target) SetWrite(addr string) {
+	t.mu.Lock()
+	t.write = addr
+	t.mu.Unlock()
+}
+
+// SetReads replaces the read addresses.
+func (t *Target) SetReads(addrs ...string) {
+	t.mu.Lock()
+	t.reads = addrs
+	t.mu.Unlock()
+}
+
+// WriteAddr returns the current write address.
+func (t *Target) WriteAddr() string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.write
+}
+
+// ReadAddr returns worker w's current read address.
+func (t *Target) ReadAddr(w int) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.reads[w%len(t.reads)]
+}
+
+// Options configures one load run.
+type Options struct {
+	Scenario     *Scenario
+	Pools        *Pools
+	Mix          Mix
+	Workers      int
+	OpsPerWorker int           // stop after this many ops per worker (0 = unbounded)
+	Duration     time.Duration // wall-clock bound (0 = none); at least one bound is required
+	Seed         int64
+	// FirstWorker offsets worker ids, namespacing the DNs and key values
+	// each worker generates. Consecutive runs against one live cluster
+	// must use disjoint id ranges, or run 2's worker 0 re-creates run 1's
+	// entries (DN collisions) and re-issues its key values (rejected by
+	// the Section 6.1 uniqueness checks).
+	FirstWorker int
+	// FollowRedirects makes a worker whose write was bounced with a
+	// replica redirect repoint the shared target at the advertised
+	// primary — how traffic finds the promoted node during failover.
+	FollowRedirects bool
+	// DropConnEvery makes each worker close and re-dial both its
+	// connections every N ops — client-side connection churn for the
+	// chaos scenarios (0 = never).
+	DropConnEvery int
+	CorpusEntries int    // recorded in the result
+	Cluster       string // recorded in the result ("single", "1p+2r", ...)
+}
+
+// ServerCmdStats is one scraped METRICS command line: the server-side
+// view of the same latencies the client measured.
+type ServerCmdStats struct {
+	Count  int64 `json:"count"`
+	Errors int64 `json:"errors"`
+	P50us  int64 `json:"p50_us"`
+	P99us  int64 `json:"p99_us"`
+}
+
+// Result is the JSON-facing outcome of one load run.
+type Result struct {
+	Scenario      string                    `json:"scenario"`
+	Schema        string                    `json:"schema"`
+	Mix           string                    `json:"mix"`
+	MixSpec       string                    `json:"mix_spec"`
+	Workers       int                       `json:"workers"`
+	CorpusEntries int                       `json:"corpus_entries"`
+	Cluster       string                    `json:"cluster"`
+	CPUs          int                       `json:"cpus"`
+	Gomaxprocs    int                       `json:"gomaxprocs"`
+	ElapsedMS     int64                     `json:"elapsed_ms"`
+	TotalOps      int                       `json:"total_ops"`
+	Committed     int                       `json:"committed"`
+	Throughput    float64                   `json:"throughput_ops_per_sec"`
+	Errors        map[string]int            `json:"errors"`
+	PerOp         map[string]LatencyStats   `json:"per_op"`
+	Server        map[string]ServerCmdStats `json:"server_metrics,omitempty"`
+}
+
+type workerStats struct {
+	lat       [numOpKinds]hist
+	errs      map[string]int
+	total     int
+	committed int
+}
+
+// Run drives the configured mix from Workers concurrent workers against
+// the target and aggregates latencies, throughput and the error
+// taxonomy. It returns once every worker finished its op budget or the
+// duration elapsed.
+func Run(opts Options, target *Target) (*Result, error) {
+	if err := opts.Mix.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Workers <= 0 {
+		return nil, fmt.Errorf("loadgen: %d workers", opts.Workers)
+	}
+	if opts.OpsPerWorker <= 0 && opts.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: no op budget and no duration; the run would never stop")
+	}
+	if opts.Pools == nil {
+		return nil, fmt.Errorf("loadgen: nil pools")
+	}
+
+	stats := make([]*workerStats, opts.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	var deadline time.Time
+	if opts.Duration > 0 {
+		deadline = start.Add(opts.Duration)
+	}
+	for w := 0; w < opts.Workers; w++ {
+		stats[w] = &workerStats{errs: make(map[string]int)}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runWorker(opts, target, w, stats[w], deadline)
+		}(w)
+	}
+	wg.Wait()
+
+	res := &Result{
+		Scenario:      opts.Scenario.Name,
+		Schema:        opts.Scenario.Name,
+		Mix:           opts.Mix.Name,
+		MixSpec:       opts.Mix.Spec(),
+		Workers:       opts.Workers,
+		CorpusEntries: opts.CorpusEntries,
+		Cluster:       opts.Cluster,
+		CPUs:          runtime.NumCPU(),
+		Gomaxprocs:    runtime.GOMAXPROCS(0),
+		ElapsedMS:     time.Since(start).Milliseconds(),
+		Errors:        make(map[string]int),
+		PerOp:         make(map[string]LatencyStats),
+	}
+	merged := [numOpKinds]hist{}
+	for _, ws := range stats {
+		res.TotalOps += ws.total
+		res.Committed += ws.committed
+		for k, n := range ws.errs {
+			res.Errors[k] += n
+		}
+		for k := range ws.lat {
+			merged[k].merge(&ws.lat[k])
+		}
+	}
+	succeeded := 0
+	for k := range merged {
+		st := merged[k].stats()
+		if st.Count > 0 {
+			res.PerOp[OpKind(k).String()] = st
+			succeeded += st.Count
+		}
+	}
+	if el := time.Since(start).Seconds(); el > 0 {
+		res.Throughput = float64(succeeded) / el
+	}
+	res.Server = scrapeMetrics(target.WriteAddr())
+	return res, nil
+}
+
+// runWorker is one worker's life: dial, cycle the deck, reconnect on
+// transport errors, follow redirects, record everything.
+func runWorker(opts Options, target *Target, w int, ws *workerStats, deadline time.Time) {
+	id := opts.FirstWorker + w
+	rng := rand.New(rand.NewSource(opts.Seed + int64(id)*7919))
+	src := opts.Scenario.newSource(opts.Pools, id, rng)
+	deck := opts.Mix.Deck(rng)
+	var wc, rc *Client // write / read connections, re-dialed on demand
+	defer func() {
+		if wc != nil {
+			wc.Close()
+		}
+		if rc != nil {
+			rc.Close()
+		}
+	}()
+
+	for i := 0; opts.OpsPerWorker <= 0 || i < opts.OpsPerWorker; i++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return
+		}
+		if opts.DropConnEvery > 0 && i > 0 && i%opts.DropConnEvery == 0 {
+			if wc != nil {
+				wc.Close()
+				wc = nil
+			}
+			if rc != nil {
+				rc.Close()
+				rc = nil
+			}
+		}
+		op, ok := src.Op(deck[i%len(deck)])
+		if !ok {
+			// update/delete with nothing owned yet: seed with a create
+			op, _ = src.Op(OpCreate)
+		}
+		ws.total++
+
+		if op.Cmd != "" { // read/query on the read connection
+			if rc == nil {
+				var err error
+				if rc, err = Dial(target.ReadAddr(w)); err != nil {
+					ws.errs[ErrConn]++
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+			}
+			begun := time.Now()
+			resp, err := rc.Do(op.Cmd)
+			if cls := classify(resp, err); cls != "" {
+				ws.errs[cls]++
+				if err != nil {
+					rc.Close()
+					rc = nil
+				}
+				continue
+			}
+			ws.lat[kindOf(op)].note(time.Since(begun))
+			continue
+		}
+
+		// Transaction on the write connection.
+		if wc == nil {
+			var err error
+			if wc, err = Dial(target.WriteAddr()); err != nil {
+				ws.errs[ErrConn]++
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+		}
+		begun := time.Now()
+		resp, err := wc.Txn(op.Tx)
+		cls := classify(resp, err)
+		if cls == "" {
+			if op.Applied != nil {
+				op.Applied(true)
+			}
+			ws.committed++
+			ws.lat[kindOfTx(op)].note(time.Since(begun))
+			continue
+		}
+		ws.errs[cls]++
+		if op.Applied != nil {
+			op.Applied(false)
+		}
+		switch cls {
+		case ErrConn:
+			wc.Close()
+			wc = nil
+			time.Sleep(5 * time.Millisecond)
+		case ErrRedirect:
+			if opts.FollowRedirects {
+				if addr := RedirectAddr(resp.Err); addr != "" {
+					target.SetWrite(addr)
+				}
+			}
+			wc.Close()
+			wc = nil
+		default:
+			// Any other ERR aborted the transaction server-side; drop the
+			// connection so a desynced reply stream cannot leak into the
+			// next op.
+			wc.Close()
+			wc = nil
+		}
+	}
+}
+
+// kindOf recovers the op kind for single-command ops.
+func kindOf(op Op) OpKind {
+	if strings.HasPrefix(op.Cmd, "GET") {
+		return OpRead
+	}
+	return OpQuery
+}
+
+// kindOfTx recovers the op kind for transaction ops.
+func kindOfTx(op Op) OpKind {
+	first := op.Tx[0]
+	switch {
+	case strings.HasPrefix(first, "ADD"):
+		return OpCreate
+	case strings.HasPrefix(first, "MOVE"):
+		return OpUpdate
+	default:
+		return OpDelete
+	}
+}
+
+// scrapeMetrics pulls the per-command server-side histogram lines from
+// METRICS ("command NAME: count=.. errors=.. ... p50_us=.. p99_us=..").
+// A dead or unreachable node yields nil — chaos runs end with the
+// original primary gone, and the scrape must not fail the run.
+func scrapeMetrics(addr string) map[string]ServerCmdStats {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil
+	}
+	defer c.Close()
+	resp, err := c.Do("METRICS")
+	if err != nil || !resp.OK() {
+		return nil
+	}
+	out := make(map[string]ServerCmdStats)
+	for _, line := range resp.Lines {
+		name, ok := strings.CutPrefix(line, "command ")
+		if !ok {
+			continue
+		}
+		name, fields, ok := strings.Cut(name, ": ")
+		if !ok {
+			continue
+		}
+		var st ServerCmdStats
+		for _, f := range strings.Fields(fields) {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				continue
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				continue
+			}
+			switch k {
+			case "count":
+				st.Count = n
+			case "errors":
+				st.Errors = n
+			case "p50_us":
+				st.P50us = n
+			case "p99_us":
+				st.P99us = n
+			}
+		}
+		out[name] = st
+	}
+	return out
+}

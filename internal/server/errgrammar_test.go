@@ -1,0 +1,142 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"boundschema/internal/repl"
+	"boundschema/internal/vfs"
+)
+
+// The ERR grammar: every error path replies with exactly one line of the
+// form "ERR <message>" — no payload lines before it, no embedded
+// newlines (the reply funnel folds them to " | "), and a non-empty
+// message — and, unless the error is session-fatal, the reply stream
+// stays parseable: the next command gets a normal reply. The load
+// harness's response framing (internal/loadgen.readResp) depends on
+// exactly this contract.
+
+// expectErr reads one reply and asserts the ERR grammar, returning the
+// message after "ERR ".
+func expectErr(t *testing.T, c *client, wantSub string) string {
+	t.Helper()
+	body, term := c.until()
+	if len(body) != 0 {
+		t.Errorf("ERR reply carried %d payload lines before the terminator: %v", len(body), body)
+	}
+	msg, ok := strings.CutPrefix(term, "ERR ")
+	if !ok {
+		t.Fatalf("reply %q is not an ERR terminator", term)
+	}
+	if msg == "" {
+		t.Error("ERR with an empty message")
+	}
+	if strings.ContainsAny(msg, "\n\r") {
+		t.Errorf("ERR message holds a raw newline: %q", msg)
+	}
+	if wantSub != "" && !strings.Contains(msg, wantSub) {
+		t.Errorf("ERR message %q does not mention %q", msg, wantSub)
+	}
+	return msg
+}
+
+// TestErrGrammarCommandPaths drives every protocol-level error path on a
+// plain server and checks the grammar plus stream recovery.
+func TestErrGrammarCommandPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		pre  []string // lines sent first, each group answered with OK
+		send []string // lines whose (single) reply must be a grammatical ERR
+		want string
+	}{
+		{"unknown command", nil, []string{"FROB o=att"}, "unknown command"},
+		{"commit outside txn", nil, []string{"COMMIT"}, "unknown command"},
+		{"abort outside txn", nil, []string{"ABORT"}, "unknown command"},
+		{"bad search filter", nil, []string{"SEARCH (bad"}, ""},
+		{"bad query", nil, []string{"QUERY (frob x)"}, ""},
+		{"get missing entry", nil, []string{"GET uid=ghost,o=att"}, "no entry"},
+		{"add without dn", []string{"BEGIN"}, []string{"ADD"}, "ADD needs a DN"},
+		{"move without arrow", []string{"BEGIN"}, []string{"MOVE uid=x,o=att somewhere"}, "MOVE needs"},
+		{"attr line with no pending add", []string{"BEGIN"}, []string{"name: stray"}, "inside transaction"},
+		{"malformed attr line", []string{"BEGIN", "ADD uid=x,o=att"}, []string{"not-an-attribute"}, "malformed attribute"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, c := startServer(t)
+			if len(tc.pre) > 0 {
+				// BEGIN replies OK; ADD inside a transaction replies nothing.
+				c.send(tc.pre...)
+				if _, term := c.until(); term != "OK" {
+					t.Fatalf("setup %v replied %q", tc.pre, term)
+				}
+			}
+			c.send(tc.send...)
+			expectErr(t, c, tc.want)
+			// Every command-level error leaves the session alive and the
+			// transaction aborted: the next command parses normally.
+			c.expectOK("STAT")
+		})
+	}
+}
+
+// TestErrGrammarRedirect: a write on a replica is refused with a single
+// parseable redirect line that names the primary.
+func TestErrGrammarRedirect(t *testing.T) {
+	primary, replAddr := startPrimary(t, repl.Async)
+	_ = primary
+	r := startReplica(t, vfs.NewFault(), replAddr)
+	addr, err := r.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialClient(t, addr)
+	c.send("BEGIN")
+	msg := expectErr(t, c, "redirect primary=")
+	if !strings.Contains(msg, replAddr) {
+		t.Errorf("redirect %q does not name the primary %q", msg, replAddr)
+	}
+	c.expectOK("STAT") // replica still serves reads after refusing the write
+	c.expectOK("SEARCH (objectClass=person)")
+}
+
+// TestErrGrammarNotDurableAndReadOnly: the two journal-failure refusals
+// keep the single-line grammar and leave reads working.
+func TestErrGrammarNotDurableAndReadOnly(t *testing.T) {
+	t.Run("not durable", func(t *testing.T) {
+		srv, c, _ := startJournaledServer(t, 0)
+		injectJournal(srv, &flakyJournal{failWrites: true})
+		c.expectOK("BEGIN")
+		c.send(addPersonLines("doomed")...)
+		expectErr(t, c, "not durable")
+		c.expectOK("CHECK") // rolled back to a legal instance, session alive
+	})
+	t.Run("read-only", func(t *testing.T) {
+		srv, c, _ := startJournaledServer(t, 0)
+		injectJournal(srv, &flakyJournal{failWrites: true, failTruncate: true})
+		c.expectOK("BEGIN")
+		c.send(addPersonLines("doomed")...)
+		expectErr(t, c, "") // the failed commit itself
+		c.expectOK("BEGIN") // degradation refuses the write at BEGIN or COMMIT
+		c.send(addPersonLines("after")...)
+		expectErr(t, c, "read-only")
+		c.expectOK("SEARCH (objectClass=person)") // reads survive degradation
+	})
+}
+
+// TestErrGrammarLineTooLong: the one session-fatal refusal still emits a
+// single grammatical ERR line before the close.
+func TestErrGrammarLineTooLong(t *testing.T) {
+	_, addr := startServerWithLimits(t, Limits{DrainTimeout: 200 * 1e6})
+	c := dialClient(t, addr)
+	if _, err := c.conn.Write([]byte(strings.Repeat("A", maxLineBytes+4096) + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("no reply: %v", err)
+	}
+	line = strings.TrimRight(line, "\n")
+	if !strings.HasPrefix(line, "ERR ") || !strings.Contains(line, "line too long") {
+		t.Fatalf("oversized line reply = %q", line)
+	}
+}

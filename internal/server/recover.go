@@ -69,9 +69,9 @@ type scanResult struct {
 	// (a journal upgraded in place: the first checksummed marker covers
 	// only its own payload, so the bytes before it are pre-marker
 	// history, replayed one transaction per record)
-	tornBytes  int64  // unacknowledged tail after the last complete marker
-	lastSeq    uint64 // highest verified sequence number
-	firstSeq   uint64 // first verified sequence number (0 if none)
+	tornBytes int64  // unacknowledged tail after the last complete marker
+	lastSeq   uint64 // highest verified sequence number
+	firstSeq  uint64 // first verified sequence number (0 if none)
 
 	corrupt       bool
 	corruptReason string
@@ -268,7 +268,7 @@ func (s *Server) loadSnapshot(snapPath string) (loaded bool, snapSeq uint64, err
 	s.mu.Lock()
 	s.dir = d
 	s.dir.EnsureEncoded()
-	s.applier.Counts = txn.NewCountIndex(d)
+	s.reindex(d)
 	s.mu.Unlock()
 	return true, snapSeq, nil
 }

@@ -76,12 +76,36 @@ func (s *Server) roleString() string {
 
 // writeRedirect returns the rejection message for write traffic on a
 // replica ("" on a primary): replicas serve reads and point writers at
-// the primary.
+// the primary. The advertised address is the primary's client protocol
+// address when the operator provided one (SetPrimaryClientAddr / bsd
+// -primary-addr); otherwise the replication address is the only thing
+// the replica knows and redirecting clients must map it themselves.
 func (s *Server) writeRedirect() string {
 	if s.Role() != RoleReplica {
 		return ""
 	}
-	return fmt.Sprintf("read-only replica: writes go to the primary (redirect primary=%s)", s.primaryAddr)
+	addr := s.primaryAddr
+	if p := s.primaryClientAddr.Load(); p != nil && *p != "" {
+		addr = *p
+	}
+	return fmt.Sprintf("read-only replica: writes go to the primary (redirect primary=%s)", addr)
+}
+
+// SetPrimaryClientAddr records the primary's client protocol address so
+// write redirects advertise a port that actually speaks the client
+// protocol (the replication address a replica streams from does not).
+// Safe to change while serving — failover managers update it after a
+// PROMOTE.
+func (s *Server) SetPrimaryClientAddr(addr string) {
+	s.primaryClientAddr.Store(&addr)
+}
+
+// DisconnectReplication force-closes a replica's streaming connection.
+// The streaming loop reconnects with backoff and re-runs the HELLO
+// handshake, so this is safe at any point; it exists for chaos harnesses
+// that drop replication links under load. No-op on a primary.
+func (s *Server) DisconnectReplication() {
+	s.closeReplConn()
 }
 
 // SetReplicationMode selects the primary's durability contract for
@@ -547,7 +571,7 @@ func (s *Server) bootstrapFromPrimary(seq uint64, snapshot []byte) error {
 	j.size = 0
 	s.dir = d
 	s.dir.EnsureEncoded()
-	s.applier.Counts = txn.NewCountIndex(d)
+	s.reindex(d)
 	s.commitSeq = seq
 	s.metrics.JournalBytes.Store(0)
 	s.logf("repl: bootstrapped from primary snapshot through seq %d (%d bytes)", seq, len(snapshot))

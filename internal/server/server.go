@@ -147,13 +147,19 @@ type Server struct {
 	replMode    repl.Mode
 	replAckTO   time.Duration
 	primaryAddr string
-	promoteMu   sync.Mutex
-	promoteCh   chan struct{}
-	replicaDone chan struct{}
-	replConnMu  sync.Mutex
-	replConn    net.Conn
-	primarySeq  atomic.Uint64
-	replApplied atomic.Int64
+	// primaryClientAddr is the primary's CLIENT protocol address, when
+	// known. primaryAddr is the replication listener a replica streams
+	// from — advertising it to redirected writers would point them at a
+	// port that does not speak the client protocol (found by the load
+	// harness following redirects during failover).
+	primaryClientAddr atomic.Pointer[string]
+	promoteMu         sync.Mutex
+	promoteCh         chan struct{}
+	replicaDone       chan struct{}
+	replConnMu        sync.Mutex
+	replConn          net.Conn
+	primarySeq        atomic.Uint64
+	replApplied       atomic.Int64
 }
 
 // New creates a server over the given schema and initial instance. The
@@ -167,6 +173,14 @@ func New(schema *core.Schema, name string, dir *dirtree.Directory) (*Server, err
 	applier := txn.NewApplier(schema)
 	applier.Counts = txn.NewCountIndex(dir)
 	applier.NarrowDeletes = true
+	// Without the key index the Section 6.1 uniqueness checks only run
+	// under a full Check: concurrent commits could then slip duplicate
+	// key values past the incremental path and corrupt the served
+	// instance until VERIFY noticed (found by the load harness driving
+	// the netpolicy schema's ipAddress key at scale).
+	if len(schema.Keys()) > 0 {
+		applier.Keys = core.NewKeyIndex(schema, dir)
+	}
 	s := &Server{
 		schema:      schema,
 		name:        name,
@@ -181,6 +195,17 @@ func New(schema *core.Schema, name string, dir *dirtree.Directory) (*Server, err
 	}
 	checker.OnTiming = s.metrics.noteCheckTiming
 	return s, nil
+}
+
+// reindex rebuilds the applier's incremental indexes over a freshly
+// installed directory — journal recovery and replica bootstrap swap
+// s.dir wholesale, and a stale count or key index would validate
+// commits against an instance that no longer exists. Callers hold s.mu.
+func (s *Server) reindex(d *dirtree.Directory) {
+	s.applier.Counts = txn.NewCountIndex(d)
+	if len(s.schema.Keys()) > 0 {
+		s.applier.Keys = core.NewKeyIndex(s.schema, d)
+	}
 }
 
 // SetConcurrency selects the legality checker's worker count for CHECK

@@ -70,9 +70,9 @@ func (k FaultKind) String() string {
 // applicable operation" (used to make a disk that always fails syncs,
 // say); points with Op > 0 fire at most once.
 type FaultPoint struct {
-	Op   int
-	Kind FaultKind
-	Keep int // bytes kept by short/torn writes; 0 = half the buffer
+	Op    int
+	Kind  FaultKind
+	Keep  int // bytes kept by short/torn writes; 0 = half the buffer
 	fired bool
 }
 

@@ -73,9 +73,9 @@ func (OS) OpenAppend(name string) (File, error) {
 	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 }
 
-func (OS) ReadFile(name string) ([]byte, error)  { return os.ReadFile(name) }
-func (OS) Rename(oldname, newname string) error  { return os.Rename(oldname, newname) }
-func (OS) Remove(name string) error              { return os.Remove(name) }
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (OS) Remove(name string) error             { return os.Remove(name) }
 
 func (OS) Stat(name string) (int64, error) {
 	st, err := os.Stat(name)

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"boundschema/internal/core"
+	"boundschema/internal/dirtree"
+)
+
+// This file builds the directory-enabled-networks scenario from the
+// paper's introduction (and examples/netpolicy) as a scalable corpus for
+// the load harness: network elements and policies beside people, with a
+// structure schema LDAP alone cannot express and a Section 6.1 key.
+
+// NetPolicySchema builds the DEN-style bounding-schema of
+// examples/netpolicy in core form: admin domains holding subnets (each
+// containing at least one host), policies only inside domains, hosts as
+// leaves, people never under network elements, and ipAddress as an
+// instance-wide key.
+func NetPolicySchema() *core.Schema {
+	s := core.NewSchema()
+	must := func(err error) {
+		if err != nil {
+			panic(err) // static schema; cannot fail
+		}
+	}
+	must(s.Classes.AddCore("adminDomain", core.ClassTop))
+	must(s.Classes.AddCore("netElement", core.ClassTop))
+	must(s.Classes.AddCore("host", "netElement"))
+	must(s.Classes.AddCore("subnet", "netElement"))
+	must(s.Classes.AddCore("policy", core.ClassTop))
+	must(s.Classes.AddCore("person", core.ClassTop))
+	must(s.Classes.AddAux("packetRouter"))
+	must(s.Classes.AllowAux("host", "packetRouter"))
+
+	s.Attrs.Require("adminDomain", "name")
+	s.Attrs.Require("host", "ipAddress")
+	s.Attrs.Require("subnet", "name")
+	s.Attrs.Require("policy", "action")
+	s.Attrs.Require("person", "name")
+	s.Attrs.Allow("policy", "priority")
+	s.Attrs.Allow("packetRouter", "bandwidth")
+	s.Registry.Declare("bandwidth", dirtree.TypeInt)
+	s.Registry.Declare("priority", dirtree.TypeInt)
+	s.DeclareKey("ipAddress")
+
+	s.Structure.RequireClass("adminDomain")
+	s.Structure.RequireRel("policy", core.AxisAnc, "adminDomain")
+	s.Structure.RequireRel("subnet", core.AxisDesc, "host")
+	must(s.Structure.ForbidRel("host", core.AxisChild, core.ClassTop))
+	must(s.Structure.ForbidRel("adminDomain", core.AxisDesc, "adminDomain"))
+	must(s.Structure.ForbidRel("netElement", core.AxisDesc, "person"))
+
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NetPolicyCorpus generates a legal netpolicy instance with roughly n
+// entries: one admin domain, subnets each seeded with a host (so the
+// subnet →de host bound holds even after the load harness moves or
+// deletes its own hosts), extra hosts, policies, and operator person
+// entries directly under the domain. IP addresses are drawn from
+// 10.0.x.y, leaving 10.(w+1).x.y free for per-worker load generators.
+// Some subnet RDNs contain spaces, so subtree searches over spaced base
+// DNs are always exercised.
+func NetPolicyCorpus(s *core.Schema, rng *rand.Rand, n int) *dirtree.Directory {
+	d := dirtree.New(s.Registry)
+	dom := mustAdd(d, nil, "o=backbone", "adminDomain", "top")
+	dom.AddValue("name", dirtree.String("backbone"))
+
+	var subnets []*dirtree.Entry
+	newSubnet := func(i int) *dirtree.Entry {
+		rdn := fmt.Sprintf("ou=net%d", i)
+		if i%4 == 0 {
+			rdn = fmt.Sprintf("ou=lab net %d", i) // spaced DN on purpose
+		}
+		sub := mustAdd(d, dom, rdn, "subnet", "netElement", "top")
+		sub.AddValue("name", dirtree.String(fmt.Sprintf("network %d", i)))
+		h := mustAdd(d, sub, fmt.Sprintf("cn=gw%d", i), "host", "netElement", "packetRouter", "top")
+		h.AddValue("ipAddress", dirtree.String(fmt.Sprintf("10.0.%d.%d", (i/250)%250, i%250)))
+		h.AddValue("bandwidth", dirtree.Int(int64(1000*(1+rng.Intn(10)))))
+		subnets = append(subnets, sub)
+		return sub
+	}
+	newSubnet(0)
+	made := 3 // domain + first subnet + its gateway
+	hosts := 1
+	for i := made; made < n; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			if made+2 <= n {
+				newSubnet(i)
+				made += 2
+				hosts++
+				continue
+			}
+			fallthrough
+		case 1, 2:
+			sub := subnets[rng.Intn(len(subnets))]
+			h := mustAdd(d, sub, fmt.Sprintf("cn=h%d", i), "host", "netElement", "top")
+			h.AddValue("ipAddress", dirtree.String(fmt.Sprintf("10.0.%d.%d", 100+(hosts/250)%100, hosts%250)))
+			hosts++
+			made++
+		case 3:
+			p := mustAdd(d, dom, fmt.Sprintf("cn=policy%d", i), "policy", "top")
+			p.AddValue("action", dirtree.String([]string{"permit", "deny", "rate-limit"}[rng.Intn(3)]))
+			p.AddValue("priority", dirtree.Int(int64(rng.Intn(10))))
+			made++
+		default:
+			u := mustAdd(d, dom, fmt.Sprintf("uid=oper%d", i), "person", "top")
+			u.AddValue("name", dirtree.String(fmt.Sprintf("operator %d", i)))
+			made++
+		}
+	}
+	return d
+}

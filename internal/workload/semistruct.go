@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"boundschema/internal/core"
+	"boundschema/internal/dirtree"
+)
+
+// This file scales the Section 6.3 semi-structured scenario (the
+// corporate world of examples/semistructured) into a directory corpus
+// for the load harness: node labels become classes, and the structural
+// bounds are exactly the two the paper highlights — a required
+// descendant at unbounded depth and a forbidden nesting.
+
+// SemiStructSchema models the Section 6.3 corporate world as a
+// bounding-schema: countries, corporations, persons, contacts and name
+// leaves, with "every person has a (descendant) name" and "a country
+// never nests under a country". No class is required, so deep heterogen-
+// eous forests — including the empty one — are legal.
+func SemiStructSchema() *core.Schema {
+	s := core.NewSchema()
+	must := func(err error) {
+		if err != nil {
+			panic(err) // static schema; cannot fail
+		}
+	}
+	for _, c := range []string{"country", "corporation", "person", "contact", "name"} {
+		must(s.Classes.AddCore(c, core.ClassTop))
+	}
+	s.Attrs.Allow("name", "label")
+	s.Structure.RequireRel("person", core.AxisDesc, "name")
+	must(s.Structure.ForbidRel("country", core.AxisDesc, "country"))
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SemiStructCorpus generates a legal semi-structured instance with
+// roughly n entries: a national root (country → corporations), an
+// international conglomerate root (corporation → {country, corporation}),
+// and persons whose name lives at varying depth (directly, or through a
+// contact node). Countries only ever appear on paths that hold no other
+// country, keeping the forbidden nesting satisfied by construction. Some
+// corporation RDNs contain spaces so subtree searches over spaced base
+// DNs are exercised.
+func SemiStructCorpus(s *core.Schema, rng *rand.Rand, n int) *dirtree.Directory {
+	d := dirtree.New(s.Registry)
+
+	// underCountry tracks whether a corporation already has a country
+	// ancestor; only corporations without one may grow a country child.
+	type corpNode struct {
+		e            *dirtree.Entry
+		underCountry bool
+	}
+	var corps []corpNode
+	nextCorp := 0
+	newCorp := func(parent *dirtree.Entry, underCountry bool) *dirtree.Entry {
+		rdn := fmt.Sprintf("o=corp%d", nextCorp)
+		if nextCorp%5 == 0 {
+			rdn = fmt.Sprintf("o=corp %d inc", nextCorp) // spaced DN on purpose
+		}
+		nextCorp++
+		c := mustAdd(d, parent, rdn, "corporation", "top")
+		corps = append(corps, corpNode{c, underCountry})
+		return c
+	}
+
+	national := mustAdd(d, nil, "c=world", "country", "top")
+	newCorp(national, true)
+	newCorp(nil, false) // the international conglomerate root
+	made := 3
+	for i := made; made < n; i++ {
+		parent := corps[rng.Intn(len(corps))]
+		switch rng.Intn(6) {
+		case 0:
+			newCorp(parent.e, parent.underCountry) // conglomerate member
+			made++
+		case 1:
+			if parent.underCountry {
+				made += addSemiPerson(d, parent.e, rng, i)
+				continue
+			}
+			// A country inside a country-free corporation: its own members
+			// are corporations, all marked underCountry.
+			ctry := mustAdd(d, parent.e, fmt.Sprintf("c=ctry%d", i), "country", "top")
+			made++
+			if made+1 <= n {
+				newCorp(ctry, true) // national branch
+				made++
+			}
+		default:
+			made += addSemiPerson(d, parent.e, rng, i)
+		}
+	}
+	return d
+}
+
+// addSemiPerson adds a person whose required name descendant sits at a
+// random depth (person→name or person→contact→name), returning how many
+// entries were created.
+func addSemiPerson(d *dirtree.Directory, parent *dirtree.Entry, rng *rand.Rand, id int) int {
+	p := mustAdd(d, parent, fmt.Sprintf("uid=p%d", id), "person", "top")
+	if rng.Intn(2) == 0 {
+		leaf := mustAdd(d, p, fmt.Sprintf("cn=name%d", id), "name", "top")
+		leaf.AddValue("label", dirtree.String(fmt.Sprintf("person %d", id)))
+		return 2
+	}
+	contact := mustAdd(d, p, fmt.Sprintf("cn=contact%d", id), "contact", "top")
+	leaf := mustAdd(d, contact, fmt.Sprintf("cn=name%d", id), "name", "top")
+	leaf.AddValue("label", dirtree.String(fmt.Sprintf("person %d", id)))
+	return 3
+}

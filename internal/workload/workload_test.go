@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"boundschema/internal/core"
@@ -120,6 +121,66 @@ func TestUpdateStreamFragmentPreservesLegality(t *testing.T) {
 	}
 	if r := checker.Check(d); !r.Legal() {
 		t.Fatalf("grafted fragment broke legality:\n%s", r)
+	}
+}
+
+func TestNetPolicyCorpusLegalAndScales(t *testing.T) {
+	s := NetPolicySchema()
+	if !s.Consistent() {
+		t.Fatal("netpolicy schema inconsistent")
+	}
+	checker := core.NewChecker(s)
+	for _, n := range []int{20, 200, 2000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		d := NetPolicyCorpus(s, rng, n)
+		if d.Len() < n || d.Len() > n+2 {
+			t.Errorf("NetPolicyCorpus(%d) produced %d entries", n, d.Len())
+		}
+		if r := checker.Check(d); !r.Legal() {
+			t.Fatalf("NetPolicyCorpus(%d) illegal:\n%s", n, r)
+		}
+		if len(d.ClassEntries("subnet")) == 0 || len(d.ClassEntries("policy")) == 0 {
+			t.Errorf("NetPolicyCorpus(%d) missing subnets or policies", n)
+		}
+	}
+	// Spaced base DNs must exist — the load harness's range searches and
+	// the spaced-DN protocol regression depend on them.
+	d := NetPolicyCorpus(s, rand.New(rand.NewSource(1)), 500)
+	spaced := false
+	for _, e := range d.ClassEntries("subnet") {
+		if strings.Contains(e.DN(), " ") {
+			spaced = true
+		}
+	}
+	if !spaced {
+		t.Error("no subnet with a spaced DN in a 500-entry corpus")
+	}
+}
+
+func TestSemiStructCorpusLegalAndScales(t *testing.T) {
+	s := SemiStructSchema()
+	if !s.Consistent() {
+		t.Fatal("semistruct schema inconsistent")
+	}
+	checker := core.NewChecker(s)
+	for _, n := range []int{20, 200, 2000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		d := SemiStructCorpus(s, rng, n)
+		if d.Len() < n || d.Len() > n+2 {
+			t.Errorf("SemiStructCorpus(%d) produced %d entries", n, d.Len())
+		}
+		if r := checker.Check(d); !r.Legal() {
+			t.Fatalf("SemiStructCorpus(%d) illegal:\n%s", n, r)
+		}
+	}
+	// The scenario's point: names at varying depth and countries beside
+	// corporations, with no country ever nested under another.
+	d := SemiStructCorpus(s, rand.New(rand.NewSource(4)), 1000)
+	if len(d.ClassEntries("contact")) == 0 {
+		t.Error("no deep (person→contact→name) chains generated")
+	}
+	if len(d.ClassEntries("country")) < 2 {
+		t.Error("only the root country generated")
 	}
 }
 
