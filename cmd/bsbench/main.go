@@ -51,12 +51,14 @@ func env(scenario string) envInfo {
 }
 
 var (
-	quick    = flag.Bool("quick", false, "smaller sweeps")
-	parallel = flag.Int("parallel", 0, "extra worker count for e13 (0 = GOMAXPROCS sweep only)")
-	jsonOut  = flag.String("json", "", "write e13 results as JSON to this file")
-	jsonE16  = flag.String("json-e16", "", "write e16 results as JSON to this file")
-	jsonE17  = flag.String("json-e17", "", "write e17 results as JSON to this file")
-	jsonE18  = flag.String("json-e18", "", "write e18 results as JSON to this file")
+	quick                = flag.Bool("quick", false, "smaller sweeps")
+	parallel             = flag.Int("parallel", 0, "extra worker count for e13 (0 = GOMAXPROCS sweep only)")
+	jsonOut              = flag.String("json", "", "write e13 results as JSON to this file")
+	jsonE16              = flag.String("json-e16", "", "write e16 results as JSON to this file")
+	jsonE17              = flag.String("json-e17", "", "write e17 results as JSON to this file")
+	jsonE18              = flag.String("json-e18", "", "write e18 results as JSON to this file")
+	checkRecoveryScaling = flag.Bool("check-recovery-scaling", false,
+		"e17: exit non-zero unless ns/replayed-commit at the largest journal is < 3x the smallest (regression gate)")
 )
 
 type experiment struct {

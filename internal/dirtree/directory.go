@@ -25,6 +25,7 @@ type Directory struct {
 	encodedEpoch uint64
 	order        []*Entry            // all entries in pre-order
 	classIndex   map[string][]*Entry // per-class posting lists, pre-order
+	grafting     bool                // GraftSubtree is assembling a subtree (patch once at the end)
 }
 
 // New returns an empty directory using reg for attribute typing. A nil reg
@@ -103,7 +104,13 @@ func (d *Directory) add(parent *Entry, rdn string, classes []string) (*Entry, er
 	}
 	d.byID[e.id] = e
 	d.byDN[dn] = e
-	d.touchStructure()
+	if d.patchable() {
+		// The new entry is the last child (or last root): splice it into
+		// the current encoding instead of invalidating it (patch.go).
+		d.patchInsert(e)
+	} else {
+		d.touchStructure()
+	}
 	return e, nil
 }
 
@@ -116,11 +123,15 @@ func (d *Directory) DeleteLeaf(e *Entry) error {
 	if !e.IsLeaf() {
 		return fmt.Errorf("dirtree: entry %s has %d children; only leaves may be deleted", e.DN(), len(e.children))
 	}
+	if d.patchable() {
+		d.patchDelete(e) // before detach: uses the entry's current interval
+	} else {
+		d.touchStructure()
+	}
 	d.detach(e)
 	delete(d.byID, e.id)
 	delete(d.byDN, e.DN())
 	e.dir = nil
-	d.touchStructure()
 	return nil
 }
 
@@ -141,9 +152,13 @@ func (d *Directory) DeleteSubtree(root *Entry) (int, error) {
 		e.dir = nil
 		n++
 	}
+	if d.patchable() {
+		d.patchDelete(root) // before detach: uses the subtree's current interval
+	} else {
+		d.touchStructure()
+	}
 	d.detach(root)
 	drop(root)
-	d.touchStructure()
 	return n, nil
 }
 
@@ -190,11 +205,24 @@ func (d *Directory) GraftSubtree(parent *Entry, src *Entry) (*Entry, error) {
 		}
 		return e, nil
 	}
+	// Patch the encoding once for the whole subtree, not per entry: the
+	// grafting flag makes each add bump the epoch instead (O(1)), and a
+	// successful graft splices the finished subtree in and restores
+	// currency. A failed partial graft leaves the epoch bumped, so the
+	// fallback recompute cleans up.
+	patch := d.patchable()
+	d.grafting = true
 	root, err := copyRec(parent, src)
+	d.grafting = false
 	if err != nil {
 		return nil, err
 	}
-	d.touchStructure()
+	if patch {
+		d.patchInsert(root)
+		d.encodedEpoch = d.epoch
+	} else {
+		d.touchStructure()
+	}
 	return root, nil
 }
 

@@ -85,7 +85,11 @@ func (e *Entry) AddClass(c string) {
 		return
 	}
 	e.classes[c] = struct{}{}
-	e.dir.touchContent()
+	if e.dir.patchable() {
+		e.dir.insertPosting(c, e) // ranks untouched; one posting-list splice
+	} else {
+		e.dir.touchContent()
+	}
 }
 
 // RemoveClass removes object class c from the entry if present.
@@ -93,8 +97,12 @@ func (e *Entry) RemoveClass(c string) {
 	if _, ok := e.classes[c]; !ok {
 		return
 	}
+	if e.dir.patchable() {
+		e.dir.removePosting(c, e)
+	} else {
+		e.dir.touchContent()
+	}
 	delete(e.classes, c)
-	e.dir.touchContent()
 }
 
 // Attr returns the values of the named attribute. For objectClass it
@@ -148,6 +156,9 @@ func (e *Entry) NumPairs() int {
 // AddValue appends a value to the named attribute. Adding to objectClass is
 // equivalent to AddClass with the value's text. Duplicate values are
 // ignored, keeping val(e) a set.
+//
+// The interval encoding depends only on structure and class membership, so
+// value-only mutations leave it current.
 func (e *Entry) AddValue(name string, v Value) {
 	if name == AttrObjectClass {
 		e.AddClass(v.String())
@@ -162,30 +173,41 @@ func (e *Entry) AddValue(name string, v Value) {
 		e.attrs = make(map[string][]Value)
 	}
 	e.attrs[name] = append(e.attrs[name], v)
-	e.dir.touchContent()
 }
 
 // SetValues replaces all values of the named attribute. An empty values
 // slice removes the attribute.
 func (e *Entry) SetValues(name string, values ...Value) {
 	if name == AttrObjectClass {
+		old := e.classes
 		e.classes = make(map[string]struct{}, len(values))
 		for _, v := range values {
 			e.classes[v.String()] = struct{}{}
 		}
-		e.dir.touchContent()
+		if e.dir.patchable() {
+			for c := range old {
+				if _, keep := e.classes[c]; !keep {
+					e.dir.removePosting(c, e)
+				}
+			}
+			for c := range e.classes {
+				if _, had := old[c]; !had {
+					e.dir.insertPosting(c, e)
+				}
+			}
+		} else {
+			e.dir.touchContent()
+		}
 		return
 	}
 	if len(values) == 0 {
 		delete(e.attrs, name)
-		e.dir.touchContent()
 		return
 	}
 	if e.attrs == nil {
 		e.attrs = make(map[string][]Value)
 	}
 	e.attrs[name] = append([]Value(nil), values...)
-	e.dir.touchContent()
 }
 
 // RemoveValue removes one value from the named attribute if present.
@@ -201,7 +223,6 @@ func (e *Entry) RemoveValue(name string, v Value) {
 			if len(e.attrs[name]) == 0 {
 				delete(e.attrs, name)
 			}
-			e.dir.touchContent()
 			return
 		}
 	}

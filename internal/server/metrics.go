@@ -140,9 +140,12 @@ type Metrics struct {
 	// recovery neither truncated nor quarantined anything.
 	recRan         atomic.Int64
 	recScanned     atomic.Int64 // journal_records_scanned
+	recReplayed    atomic.Int64 // journal_records_replayed
+	recTrusted     atomic.Int64 // journal_records_trusted
 	recTruncated   atomic.Int64 // journal_records_truncated
 	recQuarantined atomic.Int64 // journal_records_quarantined
-	recLegalityMs  atomic.Int64 // recovery_legality_ms
+	recLegalityMs  atomic.Int64 // recovery_legality_ms (legacy, floors to 0 under 1ms)
+	recLegalityUs  atomic.Int64 // recovery_legality_us
 	recClean       atomic.Int64 // recovery_clean gauge
 
 	// Group commit: one observation per fsync, valued at how many
@@ -191,9 +194,12 @@ func (m *Metrics) noteRecovery(r *RecoveryReport) {
 	}
 	m.recRan.Store(1)
 	m.recScanned.Store(int64(r.RecordsScanned + r.LegacyRecords))
+	m.recReplayed.Store(int64(r.RecordsReplayed))
+	m.recTrusted.Store(int64(r.RecordsTrusted))
 	m.recTruncated.Store(int64(r.RecordsTruncated))
 	m.recQuarantined.Store(int64(r.RecordsQuarantined))
 	m.recLegalityMs.Store(r.LegalityMs)
+	m.recLegalityUs.Store(r.LegalityUs)
 	if r.Clean {
 		m.recClean.Store(1)
 	} else {
@@ -269,9 +275,10 @@ func (m *Metrics) lines(journalOn bool, readOnly string, rs replStatus) []string
 	}
 	if m.recRan.Load() == 1 {
 		out = append(out, fmt.Sprintf(
-			"recovery: journal_records_scanned=%d journal_records_truncated=%d journal_records_quarantined=%d recovery_legality_ms=%d recovery_clean=%d",
-			m.recScanned.Load(), m.recTruncated.Load(), m.recQuarantined.Load(),
-			m.recLegalityMs.Load(), m.recClean.Load()))
+			"recovery: journal_records_scanned=%d journal_records_replayed=%d journal_records_trusted=%d journal_records_truncated=%d journal_records_quarantined=%d recovery_legality_ms=%d recovery_legality_us=%d recovery_clean=%d",
+			m.recScanned.Load(), m.recReplayed.Load(), m.recTrusted.Load(),
+			m.recTruncated.Load(), m.recQuarantined.Load(),
+			m.recLegalityMs.Load(), m.recLegalityUs.Load(), m.recClean.Load()))
 	}
 	if readOnly != "" {
 		out = append(out, "read_only: "+readOnly)
@@ -380,9 +387,12 @@ func (m *Metrics) snapshot(journalOn bool, readOnly string, rs replStatus) map[s
 	if m.recRan.Load() == 1 {
 		out["recovery"] = map[string]int64{
 			"journal_records_scanned":     m.recScanned.Load(),
+			"journal_records_replayed":    m.recReplayed.Load(),
+			"journal_records_trusted":     m.recTrusted.Load(),
 			"journal_records_truncated":   m.recTruncated.Load(),
 			"journal_records_quarantined": m.recQuarantined.Load(),
 			"recovery_legality_ms":        m.recLegalityMs.Load(),
+			"recovery_legality_us":        m.recLegalityUs.Load(),
 			"recovery_clean":              m.recClean.Load(),
 		}
 	}

@@ -606,20 +606,19 @@ func (s *Server) applyReplicated(seg repl.Segment) error {
 		s.degradeReplica(fmt.Sprintf("replicated segment seq=%d rejected: %v", seg.Seq, err))
 		return fmt.Errorf("%w: segment seq=%d: %v", errDiverged, seg.Seq, err)
 	}
-	report, undo, err := s.applier.ApplyWithUndo(s.dir, tx)
+	// The primary proved this transaction legal before acknowledging it,
+	// and the stream layer verified its checksum and sequence, so it
+	// applies trusted: CheckNone, no per-transaction Figure 5 re-checks —
+	// O(|Δ|) per segment, which keeps catch-up linear in the stream
+	// length. The divergence safety net stays: undecodable segments,
+	// sequence gaps and apply failures (duplicate DN, missing parent)
+	// degrade the replica to read-only, and PROMOTE re-proves the whole
+	// instance legal before the role flips.
+	_, undo, err := s.replApplier.ApplyWithUndo(s.dir, tx)
 	s.dir.EnsureEncoded()
 	if err != nil {
 		s.degradeReplica(fmt.Sprintf("replicated transaction seq=%d failed to apply: %v", seg.Seq, err))
 		return fmt.Errorf("%w: transaction seq=%d: %v", errDiverged, seg.Seq, err)
-	}
-	if !report.Legal() {
-		if uerr := undo(); uerr != nil {
-			s.degradeReplica(fmt.Sprintf("rollback of illegal replicated transaction seq=%d failed: %v", seg.Seq, uerr))
-		} else {
-			s.dir.EnsureEncoded()
-			s.degradeReplica(fmt.Sprintf("replicated transaction seq=%d is illegal on this replica: the histories have diverged", seg.Seq))
-		}
-		return fmt.Errorf("%w: transaction seq=%d is illegal here (%d violation(s))", errDiverged, seg.Seq, len(report.Violations))
 	}
 	j := s.journal
 	cw := &countingWriter{w: j.f}
@@ -707,6 +706,11 @@ func (s *Server) Promote() ([]string, error) {
 	}
 	s.role.Store(int32(RolePrimary))
 	s.mu.Lock()
+	// Trusted replica apply bypasses count/key index maintenance (the
+	// primary already proved every segment legal); rebuild them before
+	// this node accepts its first write.
+	s.dir.EnsureEncoded()
+	s.reindex(s.dir)
 	if s.groupCommit && s.journal != nil && s.committer == nil {
 		s.startCommitter()
 	}

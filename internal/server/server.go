@@ -92,7 +92,11 @@ type Server struct {
 	schema  *core.Schema
 	name    string
 	applier *txn.Applier
-	checker *core.Checker
+	// replApplier applies replicated segments without re-proving
+	// legality (txn.NewTrustedApplier): the primary proved them before
+	// acknowledging. Promote reindexes s.applier before the first write.
+	replApplier *txn.Applier
+	checker     *core.Checker
 
 	// mu guards dir, journal state and readOnly. Writers (COMMIT, journal
 	// replay) mutate under the write lock and must leave the interval
@@ -185,6 +189,7 @@ func New(schema *core.Schema, name string, dir *dirtree.Directory) (*Server, err
 		schema:      schema,
 		name:        name,
 		applier:     applier,
+		replApplier: txn.NewTrustedApplier(schema),
 		checker:     checker,
 		dir:         dir,
 		closed:      make(chan struct{}),

@@ -55,6 +55,21 @@ func NewApplier(s *core.Schema) *Applier {
 	return &Applier{checker: core.NewChecker(s)}
 }
 
+// NewTrustedApplier returns an applier that applies without re-proving
+// legality: CheckNone, no count or key indexes, so each transaction costs
+// O(|Δ|) instead of re-running the Figure 5 Δ-checks and key probes. It
+// is for records whose legality was already proven before they became
+// durable — checksum-verified journal records during recovery, and
+// replicated segments the primary acknowledged — where the caller keeps a
+// terminal full Checker.Check (or the replica's divergence → read-only
+// degradation) as the safety net. Structural impossibilities (a missing
+// graft parent, a duplicate DN) still fail the Apply call itself.
+func NewTrustedApplier(s *core.Schema) *Applier {
+	a := NewApplier(s)
+	a.Mode = CheckNone
+	return a
+}
+
 // Checker exposes the underlying legality checker.
 func (a *Applier) Checker() *core.Checker { return a.checker }
 
