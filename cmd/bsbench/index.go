@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"boundschema/internal/filter"
+	"boundschema/internal/hquery"
+	"boundschema/internal/server"
+	"boundschema/internal/workload"
+)
+
+// e20 — attribute-value indexes: SEARCH latency vs instance size.
+//
+// The planner should keep point-lookup SEARCH latency near-flat as the
+// instance grows: an equality probe against the per-attribute value
+// index is a hash/tree lookup, while the scan fallback it replaces is
+// O(n). This experiment grows a white-pages corpus 10k -> 1M entries
+// and measures, per size:
+//
+//   - search_p50_ns: end-to-end SEARCH latency over a real loopback
+//     connection through the server's command path (parse, plan, index
+//     probe, reply) — the user-visible number the near-flat claim and
+//     the -check-index-scaling gate are about;
+//   - eval_p50_ns: the in-process planner probe alone
+//     (hquery.EvalSelect), isolating index cost from protocol cost;
+//   - scan_p50_ns: a brute-force scan of the same filters over the same
+//     instance — the pre-index cost of every non-class atom.
+//
+// If the planner regressed to scans, search p50 at 1M entries would be
+// the scan cost (hundreds of ms, ~1000x the gate's bound), so the gate
+// catches "index stopped serving SEARCH" outright.
+
+type indexPoint struct {
+	Entries     int     `json:"entries"`
+	Queries     int     `json:"queries"`
+	Strategy    string  `json:"strategy"`
+	BuildMs     int64   `json:"index_build_ms"`
+	SearchP50Ns int64   `json:"search_p50_ns"`
+	SearchP99Ns int64   `json:"search_p99_ns"`
+	EvalP50Ns   int64   `json:"eval_p50_ns"`
+	ScanP50Ns   int64   `json:"scan_p50_ns"`
+	SpeedupP50  float64 `json:"speedup_vs_scan_p50"`
+}
+
+type indexResult struct {
+	Experiment string `json:"experiment"`
+	envInfo
+	Points []indexPoint `json:"points"`
+}
+
+func quantileNs(ds []time.Duration, q float64) int64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i].Nanoseconds()
+}
+
+// e20Probe measures one corpus size.
+func e20Probe(n int, rng *rand.Rand) (indexPoint, error) {
+	d := workload.Corpus(workload.WhitePagesSchema(), rng, n)
+	v := d.All()
+	ents := v.Entries()
+
+	const probes = 64
+	fs := make([]filter.Filter, probes)
+	for i := range fs {
+		// Sample real person names so most probes hit; misses exercise
+		// the same index path.
+		e := ents[rng.Intn(len(ents))]
+		val := fmt.Sprintf("person %d", rng.Intn(n))
+		if vals := e.Attr("name"); len(vals) > 0 {
+			val = vals[0].String()
+		}
+		fs[i] = filter.Compare{Attr: "name", Op: filter.OpEqual, Value: val}
+	}
+
+	// First planner evaluation builds the name index lazily; charge it
+	// to build cost, not probe latency.
+	t0 := time.Now()
+	_, plan := hquery.EvalSelect(fs[0], v)
+	buildMs := time.Since(t0).Milliseconds()
+	if plan.Strategy != "index-eq" {
+		return indexPoint{}, fmt.Errorf("planner chose %q for an equality probe, want index-eq", plan.Strategy)
+	}
+
+	evals := make([]time.Duration, probes)
+	for i, f := range fs {
+		t := time.Now()
+		hquery.EvalSelect(f, v)
+		evals[i] = time.Since(t)
+	}
+
+	// End-to-end: the same probes as SEARCH commands over loopback TCP,
+	// one round trip per query.
+	srv, err := server.New(workload.WhitePagesSchema(), "whitepages", d)
+	if err != nil {
+		return indexPoint{}, err
+	}
+	defer srv.Close()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return indexPoint{}, err
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return indexPoint{}, err
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	searchOnce := func(f filter.Filter) (time.Duration, error) {
+		t := time.Now()
+		if _, err := fmt.Fprintf(conn, "SEARCH %s\n", f); err != nil {
+			return 0, err
+		}
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				return 0, err
+			}
+			line = strings.TrimRight(line, "\n")
+			if line == "OK" {
+				return time.Since(t), nil
+			}
+			if strings.HasPrefix(line, "ERR ") {
+				return 0, fmt.Errorf("SEARCH %s: %s", f, line)
+			}
+		}
+	}
+	if _, err := searchOnce(fs[0]); err != nil { // warm the connection
+		return indexPoint{}, err
+	}
+	wire := make([]time.Duration, probes)
+	for i, f := range fs {
+		el, err := searchOnce(f)
+		if err != nil {
+			return indexPoint{}, err
+		}
+		wire[i] = el
+	}
+
+	// Scan baseline: brute force over the view, fewer probes — at 1M
+	// entries each one walks the whole instance.
+	scanProbes := probes
+	if n > 50_000 {
+		scanProbes = 8
+	}
+	scan := make([]time.Duration, scanProbes)
+	for i := 0; i < scanProbes; i++ {
+		f := fs[i]
+		t := time.Now()
+		cnt := 0
+		for _, e := range ents {
+			if f.Matches(e) {
+				cnt++
+			}
+		}
+		scan[i] = time.Since(t)
+	}
+
+	p := indexPoint{
+		Entries:     d.Len(),
+		Queries:     probes,
+		Strategy:    plan.Strategy,
+		BuildMs:     buildMs,
+		SearchP50Ns: quantileNs(wire, 0.50),
+		SearchP99Ns: quantileNs(wire, 0.99),
+		EvalP50Ns:   quantileNs(evals, 0.50),
+		ScanP50Ns:   quantileNs(scan, 0.50),
+	}
+	if p.SearchP50Ns > 0 {
+		p.SpeedupP50 = float64(p.ScanP50Ns) / float64(p.SearchP50Ns)
+	}
+	return p, nil
+}
+
+func runE20() {
+	sizes := []int{10_000, 100_000, 1_000_000}
+	if *quick {
+		sizes = []int{2_000, 20_000}
+	}
+	fmt.Println("equality SEARCH p50 (end-to-end and planner-only) vs brute scan, as the instance grows")
+	fmt.Println()
+
+	res := indexResult{Experiment: "e20-value-index", envInfo: env("whitepages")}
+	rng := rand.New(rand.NewSource(20))
+	for _, n := range sizes {
+		p, err := e20Probe(n, rng)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bsbench: e20 n=%d: %v\n", n, err)
+			os.Exit(1)
+		}
+		res.Points = append(res.Points, p)
+		fmt.Printf("%8d entries  build=%-5dms  search p50=%-8d p99=%-8d ns  eval p50=%-7d ns  scan p50=%-10d ns  speedup=%.0fx\n",
+			p.Entries, p.BuildMs, p.SearchP50Ns, p.SearchP99Ns, p.EvalP50Ns, p.ScanP50Ns, p.SpeedupP50)
+	}
+	fmt.Println("\nshape check: index-served SEARCH stays near-flat while the scan baseline grows linearly with the instance.")
+
+	if *checkIndexScaling {
+		first, last := res.Points[0], res.Points[len(res.Points)-1]
+		if first.SearchP50Ns <= 0 || last.SearchP50Ns <= 0 {
+			fmt.Fprintln(os.Stderr, "bsbench: e20 scaling check: missing p50 data")
+			os.Exit(1)
+		}
+		ratio := float64(last.SearchP50Ns) / float64(first.SearchP50Ns)
+		grow := float64(last.Entries) / float64(first.Entries)
+		fmt.Printf("scaling check: %d -> %d entries (%.0fx): SEARCH p50 %d -> %d ns (%.2fx, limit 3x)\n",
+			first.Entries, last.Entries, grow, first.SearchP50Ns, last.SearchP50Ns, ratio)
+		if ratio >= 3 {
+			fmt.Fprintf(os.Stderr, "bsbench: e20 FAILED scaling check: SEARCH latency scales with instance size (%.2fx >= 3x)\n", ratio)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonE20 != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bsbench: %v\n", err)
+			return
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonE20, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bsbench: %v\n", err)
+			return
+		}
+		fmt.Printf("results written to %s\n", *jsonE20)
+	}
+}

@@ -22,12 +22,13 @@
 //	e8  Theorem 5.1: soundness of the inference system
 //	e9  Theorem 5.2: consistency decision is polynomial
 //	e10 Sections 5.1-5.2: the inconsistency taxonomy
-//	e11 ablation: extension rules vs the pairwise reconstruction
-//	e12 Section 7 future work: schema-aided query optimization
-//	e13 parallel legality engine: sequential vs sharded Check
+//	e12 ablation: extension rules vs the pairwise reconstruction
+//	e13 Section 7 future work: schema-aided query optimization
+//	e14 parallel legality engine: sequential vs sharded Check
 //	e16 group commit: batched vs per-transaction journal fsync
 //	e17 crash recovery: cold-start cost vs journal length
 //	e18 streaming replication: read fan-out and the semi-sync write price
+//	e20 attribute-value indexes: SEARCH latency vs instance size
 package main
 
 import (
@@ -52,13 +53,16 @@ func env(scenario string) envInfo {
 
 var (
 	quick                = flag.Bool("quick", false, "smaller sweeps")
-	parallel             = flag.Int("parallel", 0, "extra worker count for e13 (0 = GOMAXPROCS sweep only)")
-	jsonOut              = flag.String("json", "", "write e13 results as JSON to this file")
+	parallel             = flag.Int("parallel", 0, "extra worker count for e14 (0 = GOMAXPROCS sweep only)")
+	jsonOut              = flag.String("json", "", "write e14 results as JSON to this file")
 	jsonE16              = flag.String("json-e16", "", "write e16 results as JSON to this file")
 	jsonE17              = flag.String("json-e17", "", "write e17 results as JSON to this file")
 	jsonE18              = flag.String("json-e18", "", "write e18 results as JSON to this file")
+	jsonE20              = flag.String("json-e20", "", "write e20 results as JSON to this file")
 	checkRecoveryScaling = flag.Bool("check-recovery-scaling", false,
 		"e17: exit non-zero unless ns/replayed-commit at the largest journal is < 3x the smallest (regression gate)")
+	checkIndexScaling = flag.Bool("check-index-scaling", false,
+		"e20: exit non-zero unless index-probe p50 at the largest instance is < 3x the smallest (regression gate)")
 )
 
 type experiment struct {
@@ -80,18 +84,20 @@ func main() {
 		{"e8", "Theorem 5.1: inference soundness", runE8},
 		{"e9", "Theorem 5.2: polynomial consistency", runE9},
 		{"e10", "Sections 5.1-5.2: inconsistency taxonomy", runE10},
-		{"e11", "Ablation: extension rules vs pairwise reconstruction", runE11},
-		{"e12", "Section 7: schema-aided query optimization", runE12},
-		{"e13", "Parallel legality engine: sequential vs sharded Check", runE13},
-		// e14/e15 live in EXPERIMENTS.md as Go benchmarks; the id here
-		// matches the doc's section number.
+		{"e12", "Ablation: extension rules vs pairwise reconstruction", runE11},
+		{"e13", "Section 7: schema-aided query optimization", runE12},
+		{"e14", "Parallel legality engine: sequential vs sharded Check", runE13},
+		// e15 (metrics overhead) and e19 (bsload convergence) live in
+		// EXPERIMENTS.md as Go benchmarks / the bsload harness; ids here
+		// match the doc's section numbers.
 		{"e16", "Group commit: batched vs per-transaction journal fsync", runE16},
 		{"e17", "Crash recovery: cold-start cost vs journal length", runE17},
 		{"e18", "Streaming replication: read fan-out and the semi-sync write price", runE18},
+		{"e20", "Attribute-value indexes: SEARCH latency vs instance size", runE20},
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: bsbench [-quick] all | e1 ... e13 | e16 | e17 | e18")
+		fmt.Fprintln(os.Stderr, "usage: bsbench [-quick] all | e1 ... e14 | e16 | e17 | e18 | e20")
 		os.Exit(2)
 	}
 	want := make(map[string]bool)

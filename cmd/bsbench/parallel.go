@@ -48,7 +48,7 @@ func runE13() {
 	base := timeIt(func() { seq.Check(d) })
 
 	res := parallelBenchResult{
-		Experiment:       "e13-parallel-legality",
+		Experiment:       "e14-parallel-legality",
 		envInfo:          env("whitepages"),
 		Entries:          d.Len(),
 		ReportsIdentical: true,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Directory is a directory instance D = (R, class, val, N): a finite forest
@@ -26,6 +27,13 @@ type Directory struct {
 	order        []*Entry            // all entries in pre-order
 	classIndex   map[string][]*Entry // per-class posting lists, pre-order
 	grafting     bool                // GraftSubtree is assembling a subtree (patch once at the end)
+
+	// Attribute-value secondary indexes (attrindex.go), built lazily per
+	// attribute and patched alongside the encoding. attrMu serializes the
+	// lazy builds that happen on otherwise read-only probe paths.
+	attrMu    sync.Mutex
+	attrTrees map[string]*bptree
+	attrStale bool // trees lag the instance; drop and rebuild on next probe
 }
 
 // New returns an empty directory using reg for attribute typing. A nil reg
@@ -240,6 +248,10 @@ func (d *Directory) EnsureEncoded() {
 	if d.encodedEpoch == d.epoch {
 		return
 	}
+	// Arbitrary unpatched mutations may have happened; drop the value
+	// indexes and let the next probe rebuild them (attrindex.go).
+	d.attrTrees = nil
+	d.attrStale = false
 	d.order = d.order[:0]
 	if cap(d.order) < len(d.byID) {
 		d.order = make([]*Entry, 0, len(d.byID))

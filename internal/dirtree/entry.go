@@ -173,6 +173,7 @@ func (e *Entry) AddValue(name string, v Value) {
 		e.attrs = make(map[string][]Value)
 	}
 	e.attrs[name] = append(e.attrs[name], v)
+	e.dir.noteValueAdded(e, name, v)
 }
 
 // SetValues replaces all values of the named attribute. An empty values
@@ -200,14 +201,16 @@ func (e *Entry) SetValues(name string, values ...Value) {
 		}
 		return
 	}
+	old := e.attrs[name]
 	if len(values) == 0 {
 		delete(e.attrs, name)
-		return
+	} else {
+		if e.attrs == nil {
+			e.attrs = make(map[string][]Value)
+		}
+		e.attrs[name] = append([]Value(nil), values...)
 	}
-	if e.attrs == nil {
-		e.attrs = make(map[string][]Value)
-	}
-	e.attrs[name] = append([]Value(nil), values...)
+	e.dir.noteValuesReplaced(e, name, old)
 }
 
 // RemoveValue removes one value from the named attribute if present.
@@ -223,6 +226,7 @@ func (e *Entry) RemoveValue(name string, v Value) {
 			if len(e.attrs[name]) == 0 {
 				delete(e.attrs, name)
 			}
+			e.dir.noteValueRemoved(e, name, v)
 			return
 		}
 	}

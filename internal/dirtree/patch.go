@@ -97,6 +97,9 @@ func (d *Directory) patchInsert(root *Entry) {
 			d.insertPosting(c, e)
 		}
 	}
+	// Value indexes: ranks are assigned, so postings land in order. The
+	// suffix rank shift above never reorders existing postings.
+	d.patchValueInsert(sub)
 }
 
 // patchDelete splices the subtree rooted at root out of the current
@@ -106,8 +109,10 @@ func (d *Directory) patchDelete(root *Entry) {
 	lo, hi := root.pre, root.post
 	k := hi - lo + 1
 
-	// Posting lists first, while the doomed entries' ranks still locate
-	// them: one contiguous splice per class occurring in the subtree.
+	// Posting lists and value indexes first, while the doomed entries'
+	// ranks still locate them: one contiguous splice per class occurring
+	// in the subtree, one tree removal per (value, entry) posting.
+	d.patchValueDelete(d.order[lo : hi+1])
 	classes := make(map[string]struct{})
 	for _, e := range d.order[lo : hi+1] {
 		for c := range e.classes {

@@ -118,6 +118,33 @@ func (v View) ClassEntries(c string) []*Entry {
 	return nil
 }
 
+// Filter clips a pre-order-sorted entry list (a posting list or an index
+// probe result) to the view, without re-sorting. For the contiguous views
+// this is a binary-searched slice of the input; the result may share the
+// input's backing array and must be treated as read-only.
+func (v View) Filter(sorted []*Entry) []*Entry {
+	v.d.EnsureEncoded()
+	switch v.kind {
+	case viewAll:
+		return sorted
+	case viewEmpty:
+		return nil
+	case viewSubtree:
+		lo, hi := rangeWithin(sorted, v.root.pre, v.root.post)
+		return sorted[lo:hi]
+	case viewExceptSubtree:
+		lo, hi := rangeWithin(sorted, v.root.pre, v.root.post)
+		if lo == hi {
+			return sorted
+		}
+		out := make([]*Entry, 0, len(sorted)-(hi-lo))
+		out = append(out, sorted[:lo]...)
+		out = append(out, sorted[hi:]...)
+		return out
+	}
+	return nil
+}
+
 // rangeWithin returns the half-open index range of entries in the
 // pre-order-sorted list whose pre rank lies in [lo, hi], by binary search.
 func rangeWithin(sorted []*Entry, lo, hi int) (int, int) {

@@ -139,7 +139,15 @@ func (f Compare) Matches(e *dirtree.Entry) bool {
 func (f Compare) compareValue(e *dirtree.Entry, v dirtree.Value) bool {
 	switch f.Op {
 	case OpEqual:
-		return v.String() == f.Value
+		// Parse the query value through the registry, like the range ops:
+		// for a TypeInt attribute (port=080) must match the entry that
+		// (port>=80)&(port<=80) matches. Text that does not parse as the
+		// attribute's type falls back to a raw string comparison.
+		want, err := parseAs(e, f.Attr, f.Value)
+		if err != nil {
+			return v.String() == f.Value
+		}
+		return v.Compare(want) == 0
 	case OpApprox:
 		return normalize(v.String()) == normalize(f.Value)
 	case OpGE, OpLE:

@@ -71,6 +71,51 @@ func TestMatchBasics(t *testing.T) {
 	}
 }
 
+// TestTypedEquality pins the satellite fix: equality parses the query
+// value through the registry exactly like >=/<= do, so typed attributes
+// match semantically ((port=080) ≡ (port>=80)&(port<=80)) while string
+// attributes — IP addresses among them — keep exact text semantics.
+func TestTypedEquality(t *testing.T) {
+	reg := dirtree.NewRegistry()
+	reg.Declare("bandwidth", dirtree.TypeInt)
+	reg.Declare("active", dirtree.TypeBool)
+	d := dirtree.New(reg)
+	e, err := d.AddRoot("cn=host1", "host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddValue("bandwidth", dirtree.Int(80))
+	e.AddValue("ipAddress", dirtree.String("10.0.0.5"))
+	e.AddValue("active", dirtree.Bool(true))
+
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"(bandwidth=80)", true},
+		{"(bandwidth=080)", true},     // was false: raw string comparison
+		{"(bandwidth= 80)", true},     // ParseValue trims, like the range ops
+		{"(bandwidth=81)", false},
+		{"(bandwidth=notanumber)", false}, // parse error → string fallback
+		{"(&(bandwidth>=80)(bandwidth<=80))", true}, // must agree with =080
+		{"(ipAddress=10.0.0.5)", true},
+		{"(ipAddress=10.0.0.05)", false}, // strings stay exact-text
+		{"(active=TRUE)", true},
+		{"(active=1)", true}, // boolean synonym now parses like >=/<=
+		{"(active=FALSE)", false},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if got := f.Matches(e); got != c.want {
+			t.Errorf("%q matches = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"",

@@ -158,28 +158,14 @@ func (q selectQ) eval(b Binding) []*dirtree.Entry {
 	if v.IsEmptyView() {
 		return nil
 	}
-	// Fast path: a pure objectClass equality atom reads the posting list
-	// directly; class-led conjunctions scan only the class's posting list.
-	if cls, rest, ok := classLead(q.f); ok {
-		src := v.ClassEntries(cls)
-		if rest == nil {
-			return src
-		}
-		var out []*dirtree.Entry
-		for _, e := range src {
-			if rest.Matches(e) {
-				out = append(out, e)
-			}
-		}
-		return out
+	// Pure objectClass equality — the legality-check hot path (Figure 4
+	// translates every structure-schema element to such atoms) — reads the
+	// posting list without consulting the planner.
+	if c, ok := q.f.(filter.Compare); ok && c.Op == filter.OpEqual && c.Attr == dirtree.AttrObjectClass {
+		return v.ClassEntries(c.Value)
 	}
-	var out []*dirtree.Entry
-	for _, e := range v.Entries() {
-		if q.f.Matches(e) {
-			out = append(out, e)
-		}
-	}
-	return out
+	p := planSelect(q.f, v)
+	return p.execute(q.f, v)
 }
 
 // classLead recognizes filters of the form (objectClass=c) or
@@ -350,16 +336,18 @@ func (m matcher) match(e *dirtree.Entry) bool {
 }
 
 // atomMatcher recognizes an atomic selection operand and returns a
-// membership tester plus a cheap upper bound on its result size.
+// membership tester plus a cheap upper bound on its result size. The
+// bound is the planner's cardinality estimate, so index-servable atoms
+// (not just bare class atoms) enable the skewed probe paths.
 func atomMatcher(q Query, b Binding) (matcher, bool) {
 	sel, ok := q.(selectQ)
 	if !ok {
 		return matcher{}, false
 	}
 	v := b.view(sel.inst)
-	size := v.Len()
-	if cls, rest, isClass := classLead(sel.f); isClass && rest == nil {
-		size = len(v.ClassEntries(cls))
+	size := 0
+	if !v.IsEmptyView() {
+		size = planSelect(sel.f, v).est
 	}
 	return matcher{v: v, f: sel.f, size: size}, true
 }

@@ -19,9 +19,14 @@ type NodeStats struct {
 	Left, Right int
 	// Out is the node's result size.
 	Out int
-	// Strategy names the join strategy: scan, posting-list, hash, merge,
-	// staircase, diff.
+	// Strategy names the access path or join strategy. Atoms report the
+	// planner's choice (scan, posting-list, index-eq, index-range,
+	// index-prefix, index-present, empty, with a "+filter" suffix when a
+	// residual filter runs); joins report hash, merge, staircase, diff.
 	Strategy string
+	// Est is the planner's cardinality estimate for atoms (the number of
+	// candidate entries the chosen access path fetches); 0 for joins.
+	Est int
 	// Depth is the node's depth in the query tree, for rendering.
 	Depth int
 	// children indexes into Stats.Nodes, for rendering.
@@ -45,6 +50,8 @@ func (s *Stats) String() string {
 		fmt.Fprintf(&b, "%s%-8s %-14s out=%-8d", strings.Repeat("  ", n.Depth), n.Op, n.Strategy, n.Out)
 		if n.Right >= 0 {
 			fmt.Fprintf(&b, " left=%-8d right=%-8d", n.Left, n.Right)
+		} else {
+			fmt.Fprintf(&b, " est=%-8d", n.Est)
 		}
 		if n.Detail != "" {
 			fmt.Fprintf(&b, " %s", n.Detail)
@@ -90,18 +97,18 @@ func EvalWithStats(q Query, b Binding) ([]*dirtree.Entry, *Stats) {
 func evalStats(q Query, b Binding, st *Stats, depth int) []*dirtree.Entry {
 	switch t := q.(type) {
 	case selectQ:
-		out := t.eval(b)
-		strategy := "scan"
-		if cls, rest, ok := classLead(t.f); ok {
-			strategy = "posting-list"
-			if rest != nil {
-				strategy = "posting-list+filter"
-			}
-			_ = cls
+		v := b.view(t.inst)
+		var out []*dirtree.Entry
+		strategy, est := stratEmpty, 0
+		if !v.IsEmptyView() {
+			p := planSelect(t.f, v)
+			out = p.execute(t.f, v)
+			strategy, est = p.label(), p.est
 		}
 		st.Nodes = append(st.Nodes, NodeStats{
 			Op: "select", Detail: t.f.String() + instSuffix(t.inst),
-			Left: -1, Right: -1, Out: len(out), Strategy: strategy, Depth: depth,
+			Left: -1, Right: -1, Out: len(out), Strategy: strategy, Est: est,
+			Depth: depth,
 		})
 		return out
 

@@ -200,11 +200,16 @@ func (s *wpSource) Op(kind OpKind) (Op, bool) {
 			}
 		}}, true
 	case OpQuery:
-		switch s.rng.Intn(3) {
+		switch s.rng.Intn(4) {
 		case 0:
 			return Op{Cmd: "SEARCH (name=person*) base=" + pick(s.rng, s.p.Bases)}, true
 		case 1:
 			return Op{Cmd: "SEARCH (mail=*) base=" + pick(s.rng, s.p.Bases)}, true
+		case 2:
+			// Truncated scan: base DNs may contain spaces, so this also
+			// exercises the trailing-token limit parse.
+			return Op{Cmd: fmt.Sprintf("SEARCH (name=person*) base=%s limit=%d",
+				pick(s.rng, s.p.Bases), 1+s.rng.Intn(20))}, true
 		default:
 			return Op{Cmd: fmt.Sprintf("SEARCH (objectClass=orgUnit) base=%s", pick(s.rng, s.p.Bases))}, true
 		}
@@ -275,11 +280,14 @@ func (s *npSource) Op(kind OpKind) (Op, bool) {
 			}
 		}}, true
 	case OpQuery:
-		switch s.rng.Intn(3) {
+		switch s.rng.Intn(4) {
 		case 0:
 			return Op{Cmd: "SEARCH (ipAddress=10.*) base=" + pick(s.rng, s.p.Bases)}, true
 		case 1:
 			return Op{Cmd: "SEARCH (bandwidth>=5000) base=" + pick(s.rng, s.p.Bases)}, true
+		case 2:
+			// Typed range probe with a cap — the index-range + limit path.
+			return Op{Cmd: fmt.Sprintf("SEARCH (bandwidth>=5000) limit=%d", 1+s.rng.Intn(10))}, true
 		default:
 			return Op{Cmd: "SEARCH (objectClass=policy)"}, true
 		}
@@ -380,9 +388,12 @@ func (s *ssSource) Op(kind OpKind) (Op, bool) {
 			}
 		}}, true
 	case OpQuery:
-		switch s.rng.Intn(2) {
+		switch s.rng.Intn(3) {
 		case 0:
 			return Op{Cmd: "SEARCH (label=*) base=" + pick(s.rng, s.p.Bases)}, true
+		case 1:
+			// Presence probe with a cap — index-present + limit.
+			return Op{Cmd: fmt.Sprintf("SEARCH (label=*) limit=%d", 1+s.rng.Intn(5))}, true
 		default:
 			return Op{Cmd: "SEARCH (objectClass=contact) base=" + pick(s.rng, s.p.Bases)}, true
 		}

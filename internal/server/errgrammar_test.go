@@ -53,6 +53,11 @@ func TestErrGrammarCommandPaths(t *testing.T) {
 		{"commit outside txn", nil, []string{"COMMIT"}, "unknown command"},
 		{"abort outside txn", nil, []string{"ABORT"}, "unknown command"},
 		{"bad search filter", nil, []string{"SEARCH (bad"}, ""},
+		{"search trailing junk", nil, []string{"SEARCH (objectClass=person) bogus"}, "unexpected"},
+		{"search limit not a number", nil, []string{"SEARCH (objectClass=person) limit=ten"}, "malformed"},
+		{"search limit empty", nil, []string{"SEARCH (objectClass=person) limit="}, "malformed"},
+		{"search limit negative", nil, []string{"SEARCH (objectClass=person) limit=-1"}, "malformed"},
+		{"search limit with junk base", nil, []string{"SEARCH (objectClass=person) bogus limit=2"}, "unexpected"},
 		{"bad query", nil, []string{"QUERY (frob x)"}, ""},
 		{"get missing entry", nil, []string{"GET uid=ghost,o=att"}, "no entry"},
 		{"add without dn", []string{"BEGIN"}, []string{"ADD"}, "ADD needs a DN"},

@@ -130,6 +130,12 @@ type Metrics struct {
 	TxIllegal   atomic.Int64
 	TxErrors    atomic.Int64
 
+	// Search access paths: which side of the planner's choice each SEARCH
+	// landed on. Indexed covers posting-list and attribute-index probes
+	// (and statically-empty filters); Scanned counts full view scans.
+	SearchIndexed atomic.Int64
+	SearchScanned atomic.Int64
+
 	// Journal.
 	JournalBytes     atomic.Int64 // gauge: live journal size
 	JournalRotations atomic.Int64
@@ -260,6 +266,9 @@ func (m *Metrics) lines(journalOn bool, readOnly string, rs replStatus) []string
 		fmt.Sprintf("transactions: active=%d committed=%d illegal=%d errors=%d",
 			m.TxActive.Load(), m.TxCommitted.Load(), m.TxIllegal.Load(), m.TxErrors.Load()),
 	)
+	if idx, sc := m.SearchIndexed.Load(), m.SearchScanned.Load(); idx+sc > 0 {
+		out = append(out, fmt.Sprintf("search: indexed=%d scanned=%d", idx, sc))
+	}
 	if journalOn {
 		out = append(out, fmt.Sprintf("journal: bytes=%d rotations=%d errors=%d",
 			m.JournalBytes.Load(), m.JournalRotations.Load(), m.JournalErrors.Load()))
@@ -358,6 +367,10 @@ func (m *Metrics) snapshot(journalOn bool, readOnly string, rs replStatus) map[s
 			"committed": m.TxCommitted.Load(),
 			"illegal":   m.TxIllegal.Load(),
 			"errors":    m.TxErrors.Load(),
+		},
+		"search": map[string]int64{
+			"indexed": m.SearchIndexed.Load(),
+			"scanned": m.SearchScanned.Load(),
 		},
 		"checker": map[string]int64{
 			"sequential_count":    m.checkSeqCount.Load(),

@@ -182,6 +182,8 @@ func TestMetricsLineOrder(t *testing.T) {
 	m.noteRecovery(&RecoveryReport{RecordsScanned: 2, Legal: true, Clean: true})
 	m.observeCommand("SEARCH", time.Millisecond, false)
 	m.observeCommand("COMMIT", time.Millisecond, false)
+	m.SearchIndexed.Add(2)
+	m.SearchScanned.Add(1)
 	m.violations[0].Add(1)
 
 	hub := repl.HubStatus{Mode: repl.SemiSync, Replicas: 2, LastShipped: 9, AckedSeq: 9}
@@ -194,6 +196,7 @@ func TestMetricsLineOrder(t *testing.T) {
 		"connections",
 		"sessions",
 		"transactions",
+		"search",
 		"journal",
 		"group-commit",
 		"recovery",
@@ -218,13 +221,16 @@ func TestMetricsLineOrder(t *testing.T) {
 	}
 
 	// The replication lines carry exact, scrapable key=value content.
-	if l := got[8]; l != "role: read-only degraded" {
+	if l := got[4]; l != "search: indexed=2 scanned=1" {
+		t.Errorf("search line = %q", l)
+	}
+	if l := got[9]; l != "role: read-only degraded" {
 		t.Errorf("role line = %q", l)
 	}
-	if l := got[9]; l != "replication: mode=semisync replicas=2 last_shipped=9 acked_seq=9 semisync_degraded=0" {
+	if l := got[10]; l != "replication: mode=semisync replicas=2 last_shipped=9 acked_seq=9 semisync_degraded=0" {
 		t.Errorf("replication line = %q", l)
 	}
-	if l := got[10]; l != "replica: primary_seq=9 applied_seq=8 lag=1 applied=4" {
+	if l := got[11]; l != "replica: primary_seq=9 applied_seq=8 lag=1 applied=4" {
 		t.Errorf("replica line = %q", l)
 	}
 

@@ -5,9 +5,16 @@
 // The protocol is line-oriented text over TCP (LDAP's ASN.1 framing is
 // out of scope; the operations mirror LDAP's):
 //
-//	SEARCH <filter> [base=<dn>]     matching DNs, one per line (the base
-//	                                DN is everything after "base=" — DNs
-//	                                may contain spaces)
+//	SEARCH <filter> [base=<dn>] [limit=N]
+//	                                matching DNs, one per line, at most N
+//	                                with limit=N (default unlimited). The
+//	                                base DN is everything after "base="
+//	                                up to the optional trailing limit
+//	                                token — DNs may contain spaces. The
+//	                                filter runs through the cost-based
+//	                                hquery planner: typed atoms are
+//	                                answered from the attribute-value
+//	                                indexes when cheaper than a scan.
 //	QUERY <hierarchical query>      DNs matched by an hquery expression
 //	GET <dn>                        the entry as LDIF attribute lines
 //	BEGIN ... ADD/DELETE/MOVE ... COMMIT an update transaction (LDIF-ish;
@@ -45,6 +52,7 @@ import (
 	"log"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -834,6 +842,8 @@ func (s *Server) CommitTx(tx *txn.Transaction) (*core.Report, error) {
 	return report, nil
 }
 
+const searchUsage = "(usage: SEARCH <filter> [base=<dn>] [limit=N])"
+
 func (se *session) search(rest string) {
 	ftext, tail, err := cutBalanced(strings.TrimSpace(rest))
 	if err != nil {
@@ -847,11 +857,27 @@ func (se *session) search(rest string) {
 	}
 	// The base DN is everything after "base=" — DNs contain spaces
 	// (ou=Human Resources,o=acme), so the tail must not be re-tokenized.
-	// Anything else trailing the filter is an error, not silently ignored.
+	// The optional limit is the final space-separated token, peeled off
+	// before the base is read. Anything else trailing the filter is an
+	// error, not silently ignored.
 	tail = strings.TrimSpace(tail)
+	limit := -1
+	last := tail
+	if i := strings.LastIndexByte(tail, ' '); i >= 0 {
+		last = tail[i+1:]
+	}
+	if digits, isLimit := strings.CutPrefix(last, "limit="); isLimit {
+		n, lerr := strconv.Atoi(digits)
+		if lerr != nil || n < 0 || strings.TrimLeft(digits, "0123456789") != "" {
+			se.err(fmt.Sprintf("malformed %q %s", last, searchUsage))
+			return
+		}
+		limit = n
+		tail = strings.TrimSpace(tail[:len(tail)-len(last)])
+	}
 	baseDN, hasBase := strings.CutPrefix(tail, "base=")
 	if tail != "" && !hasBase {
-		se.err(fmt.Sprintf("unexpected %q after filter (usage: SEARCH <filter> [base=<dn>])", tail))
+		se.err(fmt.Sprintf("unexpected %q after filter %s", tail, searchUsage))
 		return
 	}
 	se.srv.mu.RLock()
@@ -865,10 +891,17 @@ func (se *session) search(rest string) {
 		}
 		view = se.srv.dir.SubtreeView(e)
 	}
-	for _, e := range view.Entries() {
-		if f.Matches(e) {
-			se.reply(e.DN())
+	matches, plan := hquery.EvalSelect(f, view)
+	if plan.Strategy == "scan" {
+		se.srv.metrics.SearchScanned.Add(1)
+	} else {
+		se.srv.metrics.SearchIndexed.Add(1)
+	}
+	for i, e := range matches {
+		if limit >= 0 && i >= limit {
+			break
 		}
+		se.reply(e.DN())
 	}
 	se.ok()
 }

@@ -96,6 +96,30 @@ func TestServerSearch(t *testing.T) {
 	}
 }
 
+// TestServerSearchLimit: limit=N truncates the reply to the first N
+// matches in pre-order; 0 is a valid limit and the default is unlimited.
+func TestServerSearchLimit(t *testing.T) {
+	_, c := startServer(t)
+	all := c.expectOK("SEARCH (objectClass=person)")
+	if len(all) != 3 {
+		t.Fatalf("persons = %v", all)
+	}
+	body := c.expectOK("SEARCH (objectClass=person) limit=2")
+	if len(body) != 2 || body[0] != all[0] || body[1] != all[1] {
+		t.Errorf("limit=2 = %v, want the first two of %v", body, all)
+	}
+	if body = c.expectOK("SEARCH (objectClass=person) limit=0"); len(body) != 0 {
+		t.Errorf("limit=0 returned %v", body)
+	}
+	if body = c.expectOK("SEARCH (objectClass=person) limit=100"); len(body) != 3 {
+		t.Errorf("limit beyond the result size = %v", body)
+	}
+	body = c.expectOK("SEARCH (objectClass=person) base=ou=attLabs,o=att limit=1")
+	if len(body) != 1 || body[0] != all[0] {
+		t.Errorf("base + limit = %v", body)
+	}
+}
+
 func TestServerQuery(t *testing.T) {
 	_, c := startServer(t)
 	body := c.expectOK("QUERY (minus (select (objectClass=orgGroup)) (desc (select (objectClass=orgGroup)) (select (objectClass=person))))")
