@@ -29,6 +29,7 @@
 //	e17 crash recovery: cold-start cost vs journal length
 //	e18 streaming replication: read fan-out and the semi-sync write price
 //	e20 attribute-value indexes: SEARCH latency vs instance size
+//	e21 epoch-fenced failover: time-to-writable, acked-write loss, fencing
 package main
 
 import (
@@ -59,6 +60,7 @@ var (
 	jsonE17              = flag.String("json-e17", "", "write e17 results as JSON to this file")
 	jsonE18              = flag.String("json-e18", "", "write e18 results as JSON to this file")
 	jsonE20              = flag.String("json-e20", "", "write e20 results as JSON to this file")
+	jsonE21              = flag.String("json-e21", "", "write e21 results as JSON to this file")
 	checkRecoveryScaling = flag.Bool("check-recovery-scaling", false,
 		"e17: exit non-zero unless ns/replayed-commit at the largest journal is < 3x the smallest (regression gate)")
 	checkIndexScaling = flag.Bool("check-index-scaling", false,
@@ -94,10 +96,11 @@ func main() {
 		{"e17", "Crash recovery: cold-start cost vs journal length", runE17},
 		{"e18", "Streaming replication: read fan-out and the semi-sync write price", runE18},
 		{"e20", "Attribute-value indexes: SEARCH latency vs instance size", runE20},
+		{"e21", "Epoch-fenced failover: time-to-writable, acked-write loss, fencing", runE21},
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: bsbench [-quick] all | e1 ... e14 | e16 | e17 | e18 | e20")
+		fmt.Fprintln(os.Stderr, "usage: bsbench [-quick] all | e1 ... e14 | e16 | e17 | e18 | e20 | e21")
 		os.Exit(2)
 	}
 	want := make(map[string]bool)

@@ -99,15 +99,18 @@ func (c *Client) Txn(body []string) (Resp, error) {
 
 // Error taxonomy labels — the JSON keys of Result.Errors.
 const (
-	ErrRedirect   = "redirect"      // write on a replica
-	ErrNotDurable = "not_durable"   // journal write/fsync failed; state rolled back
-	ErrReadOnly   = "read_only"     // server degraded to read-only
-	ErrTooLong    = "line_too_long" // protocol line over the limit
-	ErrShutdown   = "shutdown"      // server closing or idle-timing the session
-	ErrConn       = "conn"          // transport error (dial, reset, EOF)
-	ErrIllegal    = "illegal"       // transaction rejected by the legality engine
-	ErrNotFound   = "not_found"     // target entry absent — expected after an async failover loses the unreplicated tail
-	ErrOther      = "err_other"     // any ERR not classified above
+	ErrRedirect     = "redirect"      // write on a replica
+	ErrRedirectLoop = "redirect_loop" // nodes redirecting writes at each other; the worker backed off
+	ErrFenced       = "fenced"        // deposed primary fenced after observing a newer epoch
+	ErrStaleEpoch   = "stale_epoch"   // stream refused: the dialed primary's epoch is older
+	ErrNotDurable   = "not_durable"   // journal write/fsync failed; state rolled back
+	ErrReadOnly     = "read_only"     // server degraded to read-only
+	ErrTooLong      = "line_too_long" // protocol line over the limit
+	ErrShutdown     = "shutdown"      // server closing or idle-timing the session
+	ErrConn         = "conn"          // transport error (dial, reset, EOF)
+	ErrIllegal      = "illegal"       // transaction rejected by the legality engine
+	ErrNotFound     = "not_found"     // target entry absent — expected after an async failover loses the unreplicated tail
+	ErrOther        = "err_other"     // any ERR not classified above
 )
 
 // classify maps a reply (or transport error) onto the taxonomy; ok
@@ -128,6 +131,14 @@ func classify(resp Resp, err error) string {
 		return ErrRedirect
 	case strings.Contains(msg, "commit not durable"):
 		return ErrNotDurable
+	case strings.Contains(msg, "fenced:"):
+		// Must precede the read-only case: a fenced ex-primary's reason
+		// reads "server is read-only: fenced: ...", and failover drivers
+		// need the two told apart (fenced clears on restart; a degraded
+		// journal does not).
+		return ErrFenced
+	case strings.Contains(msg, "stale epoch"):
+		return ErrStaleEpoch
 	case strings.Contains(msg, "read-only"):
 		return ErrReadOnly
 	case strings.Contains(msg, "line too long"):

@@ -195,6 +195,35 @@ func Run(opts Options, target *Target) (*Result, error) {
 	return res, nil
 }
 
+// redirectTracker watches the chain of write redirects a worker has
+// followed since its last successful commit. Following is progress only
+// while every hop lands somewhere new; revisiting an address means the
+// nodes are redirecting writes at each other — the window mid-failover
+// before the promoted node's role settles, or a misconfigured primary
+// address — and the worker should back off instead of ping-ponging
+// connections at full speed.
+type redirectTracker struct {
+	seen map[string]bool
+}
+
+// follow records addr as the next hop. A false return means the chain
+// revisited addr — a loop. Detection clears the chain, so after backing
+// off the worker probes the (possibly healed) topology afresh.
+func (rt *redirectTracker) follow(addr string) bool {
+	if rt.seen[addr] {
+		rt.seen = nil
+		return false
+	}
+	if rt.seen == nil {
+		rt.seen = make(map[string]bool)
+	}
+	rt.seen[addr] = true
+	return true
+}
+
+// reset forgets the chain once a write lands.
+func (rt *redirectTracker) reset() { rt.seen = nil }
+
 // runWorker is one worker's life: dial, cycle the deck, reconnect on
 // transport errors, follow redirects, record everything.
 func runWorker(opts Options, target *Target, w int, ws *workerStats, deadline time.Time) {
@@ -202,6 +231,7 @@ func runWorker(opts Options, target *Target, w int, ws *workerStats, deadline ti
 	rng := rand.New(rand.NewSource(opts.Seed + int64(id)*7919))
 	src := opts.Scenario.newSource(opts.Pools, id, rng)
 	deck := opts.Mix.Deck(rng)
+	var redirects redirectTracker
 	var wc, rc *Client // write / read connections, re-dialed on demand
 	defer func() {
 		if wc != nil {
@@ -272,6 +302,7 @@ func runWorker(opts Options, target *Target, w int, ws *workerStats, deadline ti
 			if op.Applied != nil {
 				op.Applied(true)
 			}
+			redirects.reset()
 			ws.committed++
 			ws.lat[kindOfTx(op)].note(time.Since(begun))
 			continue
@@ -288,7 +319,12 @@ func runWorker(opts Options, target *Target, w int, ws *workerStats, deadline ti
 		case ErrRedirect:
 			if opts.FollowRedirects {
 				if addr := RedirectAddr(resp.Err); addr != "" {
-					target.SetWrite(addr)
+					if redirects.follow(addr) {
+						target.SetWrite(addr)
+					} else {
+						ws.errs[ErrRedirectLoop]++
+						time.Sleep(20 * time.Millisecond)
+					}
 				}
 			}
 			wc.Close()

@@ -1,0 +1,120 @@
+package repl
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Edge cases of Hub.Ack: duplicate acks, regressed sequence numbers,
+// acks arriving after Close, and acks racing degrade/re-arm. The ACK
+// path is driven by remote bytes, so every one of these can happen —
+// duplicated lines from a faulty network, a replica restarting into an
+// older journal, a connection draining after shutdown.
+
+func TestHubAckDuplicate(t *testing.T) {
+	h := NewHub(SemiSync, time.Hour, time.Hour, nil)
+	defer h.Close()
+	sub := h.Subscribe("r1", &collectWriter{}, nil)
+	h.Ship(5, []byte("x"))
+	h.Ack(sub, 5)
+	h.Ack(sub, 5) // duplicate: must be a no-op, not a double release
+	if st := h.Status(); st.AckedSeq != 5 || st.Degraded {
+		t.Fatalf("status after duplicate ack = %+v", st)
+	}
+	// A gate below the watermark still releases exactly once.
+	done := make(chan error, 1)
+	h.Gate(5, done)
+	if err := <-done; err != nil {
+		t.Fatalf("gate: %v", err)
+	}
+	select {
+	case <-done:
+		t.Fatal("gate released twice")
+	default:
+	}
+}
+
+func TestHubAckRegressedSeq(t *testing.T) {
+	h := NewHub(SemiSync, time.Hour, time.Hour, nil)
+	defer h.Close()
+	sub := h.Subscribe("r1", &collectWriter{}, nil)
+	h.Ship(7, []byte("x"))
+	h.Ack(sub, 7)
+	h.Ack(sub, 3) // a replica can never un-hold bytes: must not regress
+	if st := h.Status(); st.AckedSeq != 7 {
+		t.Fatalf("acked watermark regressed: %+v", st)
+	}
+	// A later gate at the old watermark is still pre-covered.
+	done := make(chan error, 1)
+	h.Gate(7, done)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("gate at the high watermark not pre-covered after a regressed ack")
+	}
+}
+
+func TestHubAckAfterClose(t *testing.T) {
+	h := NewHub(SemiSync, time.Hour, time.Hour, nil)
+	sub := h.Subscribe("r1", &collectWriter{}, nil)
+	h.Ship(2, []byte("x"))
+	h.Close()
+	// The conn reader can still be draining acks when Close lands; they
+	// must be ignored, not resurrect hub state.
+	h.Ack(sub, 2)
+	if st := h.Status(); st.AckedSeq != 0 || st.Replicas != 0 {
+		t.Fatalf("ack after close mutated the hub: %+v", st)
+	}
+}
+
+// TestHubAckRacesDegrade hammers Ack against expiring gates so degrade,
+// release and re-arm interleave freely; run under -race this is the
+// regression net for the hub's locking. The invariant: once acks cover
+// everything shipped, the hub must settle un-degraded with every gate
+// released.
+func TestHubAckRacesDegrade(t *testing.T) {
+	h := NewHub(SemiSync, time.Millisecond, time.Hour, nil)
+	defer h.Close()
+	sub := h.Subscribe("r1", &collectWriter{}, nil)
+
+	const n = 200
+	var wg sync.WaitGroup
+	gates := make([]chan error, n)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= n; i++ {
+			h.Ship(uint64(i), []byte("x"))
+			done := make(chan error, 1)
+			gates[i-1] = done
+			h.Gate(uint64(i), done)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= n; i++ {
+			h.Ack(sub, uint64(i))
+		}
+	}()
+	wg.Wait()
+	h.Ack(sub, n) // cover the tail regardless of interleaving
+	for i, done := range gates {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("gate %d: %v", i+1, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("gate %d never released", i+1)
+		}
+	}
+	if st := h.Status(); st.AckedSeq != n {
+		t.Fatalf("final status = %+v", st)
+	}
+	if st := h.Status(); st.Degraded {
+		// Degrade may have fired mid-race (1ms timeout), but the final
+		// covering ack must have re-armed it.
+		t.Fatalf("hub still degraded after full coverage: %+v", st)
+	}
+}

@@ -67,6 +67,7 @@ type Hub struct {
 	logf       func(format string, args ...any)
 
 	mu          sync.Mutex
+	epoch       uint64
 	subs        map[*Sub]struct{}
 	lastShipped uint64
 	maxAcked    uint64
@@ -82,6 +83,7 @@ type Hub struct {
 // the server's METRICS surface.
 type HubStatus struct {
 	Mode        Mode
+	Epoch       uint64
 	Replicas    int
 	LastShipped uint64
 	AckedSeq    uint64
@@ -111,6 +113,15 @@ func NewHub(mode Mode, ackTimeout, pingInterval time.Duration, logf func(string,
 	}
 	go h.pingLoop(pingInterval)
 	return h
+}
+
+// SetEpoch stamps the hub with the primary's replication epoch; it is
+// carried on heartbeats and reported in Status. A hub's epoch is
+// constant for its lifetime — promotion tears the old hub down.
+func (h *Hub) SetEpoch(epoch uint64) {
+	h.mu.Lock()
+	h.epoch = epoch
+	h.mu.Unlock()
 }
 
 // Sub is one subscribed replica connection. The hub owns a writer
@@ -284,6 +295,9 @@ func (h *Hub) degradeLocked(why string) {
 func (h *Hub) Ack(sub *Sub, seq uint64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
 	if seq > sub.acked {
 		sub.acked = seq
 	}
@@ -312,6 +326,7 @@ func (h *Hub) Status() HubStatus {
 	defer h.mu.Unlock()
 	return HubStatus{
 		Mode:        h.mode,
+		Epoch:       h.epoch,
 		Replicas:    len(h.subs),
 		LastShipped: h.lastShipped,
 		AckedSeq:    h.maxAcked,
@@ -357,7 +372,7 @@ func (h *Hub) pingLoop(every time.Duration) {
 				h.mu.Unlock()
 				return
 			}
-			line := []byte(PingLine(h.lastShipped))
+			line := []byte(PingLine(h.lastShipped, h.epoch))
 			for sub := range h.subs {
 				h.enqueue(sub, line)
 			}

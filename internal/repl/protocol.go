@@ -13,15 +13,19 @@ import (
 // change records begin lines with "dn:", attribute names, "-", "#" or
 // blank). The handshake:
 //
-//	replica → REPL HELLO last_seq=<n>
-//	primary → REPL SNAPSHOT seq=<n> len=<b>   followed by b snapshot bytes
-//	        | REPL TAIL from=<m> count=<k>    followed by the journal tail
-//	        | REPL ERR <message>              refusal; the connection closes
+//	replica → REPL HELLO last_seq=<n> epoch=<e>
+//	primary → REPL SNAPSHOT seq=<n> len=<b> epoch=<e>  followed by b snapshot bytes
+//	        | REPL TAIL from=<m> count=<k> epoch=<e>   followed by the journal tail
+//	        | REPL ERR <message>                       refusal; the connection closes
 //
 // then the primary streams segments (segment.go) interleaved with
 //
-//	primary → REPL PING seq=<n>               heartbeat between segments
-//	replica → REPL ACK seq=<n>                segment n is locally durable
+//	primary → REPL PING seq=<n> epoch=<e>              heartbeat between segments
+//	replica → REPL ACK seq=<n> epoch=<e>               segment n is locally durable
+//
+// Every parser tolerates a missing epoch field (treating it as epoch 0,
+// "pre-epoch") so the wire format stays compatible with journals and
+// peers from before epochs existed.
 
 const (
 	controlPrefix  = "REPL "
@@ -38,49 +42,61 @@ const (
 const MaxSegmentBytes = 64 << 20
 
 // HelloLine opens the handshake: the replica announces the highest
-// sequence number it holds durably.
-func HelloLine(lastSeq uint64) string { return fmt.Sprintf("%slast_seq=%d\n", helloPrefix, lastSeq) }
-
-// ParseHello decodes a HELLO line (without trailing newline).
-func ParseHello(line string) (lastSeq uint64, err error) {
-	rest, ok := strings.CutPrefix(line, helloPrefix)
-	if !ok {
-		return 0, fmt.Errorf("repl: expected HELLO, got %q", line)
-	}
-	if _, err := fmt.Sscanf(rest, "last_seq=%d", &lastSeq); err != nil {
-		return 0, fmt.Errorf("repl: malformed HELLO %q", line)
-	}
-	return lastSeq, nil
+// sequence number it holds durably and the replication epoch it last
+// adopted.
+func HelloLine(lastSeq, epoch uint64) string {
+	return fmt.Sprintf("%slast_seq=%d epoch=%d\n", helloPrefix, lastSeq, epoch)
 }
 
-// AckLine acknowledges that segment seq is durable on the replica.
-func AckLine(seq uint64) string { return fmt.Sprintf("%sseq=%d\n", ackPrefix, seq) }
+// ParseHello decodes a HELLO line (without trailing newline). A missing
+// epoch field parses as epoch 0 (a pre-epoch peer).
+func ParseHello(line string) (lastSeq, epoch uint64, err error) {
+	rest, ok := strings.CutPrefix(line, helloPrefix)
+	if !ok {
+		return 0, 0, fmt.Errorf("repl: expected HELLO, got %q", line)
+	}
+	if n, serr := fmt.Sscanf(rest, "last_seq=%d epoch=%d", &lastSeq, &epoch); n < 1 || (serr != nil && n != 1) {
+		return 0, 0, fmt.Errorf("repl: malformed HELLO %q", line)
+	}
+	return lastSeq, epoch, nil
+}
 
-// ParseAck decodes an ACK line (without trailing newline).
-func ParseAck(line string) (seq uint64, err error) {
+// AckLine acknowledges that segment seq is durable on the replica,
+// stamped with the replica's epoch. An ACK carrying a higher epoch than
+// the primary's own is a fencing signal: the replica has adopted a
+// newer primary and is poisoning this one.
+func AckLine(seq, epoch uint64) string {
+	return fmt.Sprintf("%sseq=%d epoch=%d\n", ackPrefix, seq, epoch)
+}
+
+// ParseAck decodes an ACK line (without trailing newline). A missing
+// epoch field parses as epoch 0.
+func ParseAck(line string) (seq, epoch uint64, err error) {
 	rest, ok := strings.CutPrefix(line, ackPrefix)
 	if !ok {
-		return 0, fmt.Errorf("repl: expected ACK, got %q", line)
+		return 0, 0, fmt.Errorf("repl: expected ACK, got %q", line)
 	}
-	if _, err := fmt.Sscanf(rest, "seq=%d", &seq); err != nil {
-		return 0, fmt.Errorf("repl: malformed ACK %q", line)
+	if n, serr := fmt.Sscanf(rest, "seq=%d epoch=%d", &seq, &epoch); n < 1 || (serr != nil && n != 1) {
+		return 0, 0, fmt.Errorf("repl: malformed ACK %q", line)
 	}
-	return seq, nil
+	return seq, epoch, nil
 }
 
 // PingLine is the primary's heartbeat carrying its current durable
-// sequence number, from which a replica derives its lag.
-func PingLine(seq uint64) string { return fmt.Sprintf("%sseq=%d\n", pingPrefix, seq) }
+// sequence number, from which a replica derives its lag, and its epoch.
+func PingLine(seq, epoch uint64) string {
+	return fmt.Sprintf("%sseq=%d epoch=%d\n", pingPrefix, seq, epoch)
+}
 
-func parsePing(line string) (seq uint64, ok bool) {
+func parsePing(line string) (seq, epoch uint64, ok bool) {
 	rest, found := strings.CutPrefix(line, pingPrefix)
 	if !found {
-		return 0, false
+		return 0, 0, false
 	}
-	if _, err := fmt.Sscanf(rest, "seq=%d", &seq); err != nil {
-		return 0, false
+	if n, err := fmt.Sscanf(rest, "seq=%d epoch=%d", &seq, &epoch); n < 1 || (err != nil && n != 1) {
+		return 0, 0, false
 	}
-	return seq, true
+	return seq, epoch, true
 }
 
 // ErrLine refuses a handshake with a reason.
@@ -89,17 +105,18 @@ func ErrLine(msg string) string {
 }
 
 // SnapshotHeader announces a full-instance bootstrap: n bytes of
-// LDIF (including the "# snapshot-seq" header) follow, compacting the
-// history through seq.
-func SnapshotHeader(seq uint64, n int) string {
-	return fmt.Sprintf("%sseq=%d len=%d\n", snapshotPrefix, seq, n)
+// LDIF (including the "# snapshot-seq" / "# snapshot-epoch" headers)
+// follow, compacting the history through seq under the primary's epoch.
+func SnapshotHeader(seq uint64, n int, epoch uint64) string {
+	return fmt.Sprintf("%sseq=%d len=%d epoch=%d\n", snapshotPrefix, seq, n, epoch)
 }
 
 // TailHeader announces a catch-up from the journal tail: count verbatim
 // segments starting at sequence number from follow, then the live
-// stream. count may be 0 (the replica is already caught up).
-func TailHeader(from uint64, count int) string {
-	return fmt.Sprintf("%sfrom=%d count=%d\n", tailPrefix, from, count)
+// stream. count may be 0 (the replica is already caught up). epoch is
+// the primary's current epoch.
+func TailHeader(from uint64, count int, epoch uint64) string {
+	return fmt.Sprintf("%sfrom=%d count=%d epoch=%d\n", tailPrefix, from, count, epoch)
 }
 
 // SegmentReader incrementally parses the primary's byte stream into
@@ -141,7 +158,7 @@ func (sr *SegmentReader) Next(onControl func(line string)) (Segment, error) {
 			}
 		case IsMarkerLine(bytes.TrimRight(line, "\n")):
 			marker := bytes.TrimRight(line, "\n")
-			seq, length, crc, legacy, perr := ParseMarker(marker)
+			seq, length, crc, epoch, legacy, perr := ParseMarker(marker)
 			if perr != nil {
 				return Segment{}, fmt.Errorf("repl: %v", perr)
 			}
@@ -160,7 +177,7 @@ func (sr *SegmentReader) Next(onControl func(line string)) (Segment, error) {
 			raw := make([]byte, 0, len(payload)+len(line))
 			raw = append(raw, payload...)
 			raw = append(raw, line...)
-			return Segment{Seq: seq, Payload: payload, Raw: raw}, nil
+			return Segment{Seq: seq, Epoch: epoch, Payload: payload, Raw: raw}, nil
 		default:
 			if sr.payload.Len()+len(line) > MaxSegmentBytes {
 				return Segment{}, fmt.Errorf("repl: segment exceeds %d bytes without a marker", MaxSegmentBytes)

@@ -3,6 +3,7 @@ package repl
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -14,51 +15,79 @@ import (
 
 func seg(t *testing.T, seq uint64, payload string) Segment {
 	t.Helper()
-	raw := RawSegment(seq, []byte(payload))
+	raw := RawSegment(seq, []byte(payload), 0)
 	return Segment{Seq: seq, Payload: []byte(payload), Raw: raw}
+}
+
+// epochSeg builds a segment whose marker carries an epoch.
+func epochSeg(t *testing.T, seq, epoch uint64, payload string) Segment {
+	t.Helper()
+	raw := RawSegment(seq, []byte(payload), epoch)
+	return Segment{Seq: seq, Epoch: epoch, Payload: []byte(payload), Raw: raw}
 }
 
 func TestMarkerRoundTrip(t *testing.T) {
 	payload := []byte("dn: uid=a,o=x\nchangetype: add\nobjectClass: person\n\n")
-	line := MarkerLine(7, payload)
+	line := MarkerLine(7, payload, 0)
 	if !strings.HasSuffix(line, "\n") {
 		t.Fatalf("marker not newline-terminated: %q", line)
 	}
-	seq, length, crc, legacy, err := ParseMarker([]byte(strings.TrimRight(line, "\n")))
+	seq, length, crc, epoch, legacy, err := ParseMarker([]byte(strings.TrimRight(line, "\n")))
 	if err != nil || legacy {
 		t.Fatalf("ParseMarker: seq=%d legacy=%v err=%v", seq, legacy, err)
 	}
-	if seq != 7 || length != int64(len(payload)) || crc != Checksum(payload) {
-		t.Fatalf("round trip mismatch: seq=%d len=%d crc=%08x", seq, length, crc)
+	if seq != 7 || length != int64(len(payload)) || crc != Checksum(payload) || epoch != 0 {
+		t.Fatalf("round trip mismatch: seq=%d len=%d crc=%08x epoch=%d", seq, length, crc, epoch)
 	}
-	if _, _, _, legacy, err := ParseMarker([]byte(MarkerPrefix)); err != nil || !legacy {
+	// Epoch-carrying marker round-trips, and epoch 0 renders the exact
+	// pre-epoch format.
+	line = MarkerLine(7, payload, 3)
+	if !strings.Contains(line, " epoch=3") {
+		t.Fatalf("epoch missing from marker: %q", line)
+	}
+	if _, _, _, epoch, _, err := ParseMarker([]byte(strings.TrimRight(line, "\n"))); err != nil || epoch != 3 {
+		t.Fatalf("epoch round trip: epoch=%d err=%v", epoch, err)
+	}
+	if _, _, _, _, legacy, err := ParseMarker([]byte(MarkerPrefix)); err != nil || !legacy {
 		t.Fatalf("bare marker should parse as legacy, got legacy=%v err=%v", legacy, err)
 	}
-	if _, _, _, _, err := ParseMarker([]byte(MarkerPrefix + " seq=zap")); err == nil {
+	if _, _, _, _, _, err := ParseMarker([]byte(MarkerPrefix + " seq=zap")); err == nil {
 		t.Fatal("damaged marker accepted")
+	}
+	if _, _, _, _, _, err := ParseMarker([]byte(MarkerPrefix + " seq=1 len=2 crc=0000abcd epoch=x")); err == nil {
+		t.Fatal("damaged epoch field accepted")
 	}
 }
 
 func TestHelloAckLines(t *testing.T) {
-	n, err := ParseHello(strings.TrimRight(HelloLine(42), "\n"))
-	if err != nil || n != 42 {
-		t.Fatalf("hello round trip: %d %v", n, err)
+	n, e, err := ParseHello(strings.TrimRight(HelloLine(42, 3), "\n"))
+	if err != nil || n != 42 || e != 3 {
+		t.Fatalf("hello round trip: %d %d %v", n, e, err)
 	}
-	if _, err := ParseHello("REPL HELLO last_seq=x"); err == nil {
+	// A pre-epoch HELLO parses with epoch 0.
+	n, e, err = ParseHello("REPL HELLO last_seq=42")
+	if err != nil || n != 42 || e != 0 {
+		t.Fatalf("pre-epoch hello: %d %d %v", n, e, err)
+	}
+	if _, _, err := ParseHello("REPL HELLO last_seq=x"); err == nil {
 		t.Fatal("malformed hello accepted")
 	}
-	n, err = ParseAck(strings.TrimRight(AckLine(9), "\n"))
-	if err != nil || n != 9 {
-		t.Fatalf("ack round trip: %d %v", n, err)
+	n, e, err = ParseAck(strings.TrimRight(AckLine(9, 2), "\n"))
+	if err != nil || n != 9 || e != 2 {
+		t.Fatalf("ack round trip: %d %d %v", n, e, err)
+	}
+	n, e, err = ParseAck("REPL ACK seq=9")
+	if err != nil || n != 9 || e != 0 {
+		t.Fatalf("pre-epoch ack: %d %d %v", n, e, err)
 	}
 }
 
 func TestSegmentReaderStream(t *testing.T) {
 	var stream bytes.Buffer
 	stream.Write(seg(t, 1, "dn: a\nchangetype: delete\n\n").Raw)
-	stream.WriteString(PingLine(1))
+	stream.WriteString(PingLine(1, 1))
 	stream.Write(seg(t, 2, "dn: b\nchangetype: delete\n\n").Raw)
-	stream.Write(seg(t, 3, "dn: c\nchangetype: delete\n\n").Raw)
+	stream.Write(epochSeg(t, 3, 2, "dn: c\nchangetype: delete\n\n").Raw)
 
 	sr := NewSegmentReader(&stream)
 	var pings []string
@@ -71,10 +100,13 @@ func TestSegmentReaderStream(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Next: %v", err)
 		}
-		if Checksum(s.Payload) != Checksum(s.Payload) || !bytes.HasSuffix(s.Raw, []byte(MarkerLine(s.Seq, s.Payload))) {
+		if !bytes.HasSuffix(s.Raw, []byte(MarkerLine(s.Seq, s.Payload, s.Epoch))) {
 			t.Fatalf("segment %d raw bytes not verbatim", s.Seq)
 		}
 		got = append(got, s.Seq)
+		if s.Seq == 3 && s.Epoch != 2 {
+			t.Fatalf("segment 3 epoch = %d, want 2", s.Epoch)
+		}
 	}
 	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
 		t.Fatalf("segments = %v", got)
@@ -86,11 +118,11 @@ func TestSegmentReaderStream(t *testing.T) {
 
 func TestSegmentReaderRejects(t *testing.T) {
 	cases := map[string]string{
-		"checksum mismatch": "dn: a\n" + MarkerLine(1, []byte("dn: b\n")),
+		"checksum mismatch": "dn: a\n" + MarkerLine(1, []byte("dn: b\n"), 0),
 		"length mismatch":   "dn: a\n" + fmt.Sprintf("%s seq=1 len=3 crc=%08x\n", MarkerPrefix, Checksum([]byte("dn: a\n"))),
 		"legacy marker":     "dn: a\n" + MarkerPrefix + "\n",
 		"damaged marker":    "dn: a\n" + MarkerPrefix + " seq=zap\n",
-		"control mid-seg":   "dn: a\n" + PingLine(5) + string(RawSegment(1, []byte("dn: a\n"))),
+		"control mid-seg":   "dn: a\n" + PingLine(5, 1) + string(RawSegment(1, []byte("dn: a\n"), 0)),
 	}
 	for name, stream := range cases {
 		sr := NewSegmentReader(strings.NewReader(stream))
@@ -143,7 +175,7 @@ func TestHubShipOrderAndFirst(t *testing.T) {
 	h := NewHub(Async, 0, time.Hour, nil)
 	defer h.Close()
 	w := &collectWriter{}
-	header := []byte(TailHeader(1, 0))
+	header := []byte(TailHeader(1, 0, 1))
 	sub := h.Subscribe("r1", w, nil, header)
 	s1, s2 := seg(t, 1, "dn: a\n\n"), seg(t, 2, "dn: b\n\n")
 	h.Ship(1, s1.Raw)
@@ -265,8 +297,10 @@ func TestHubCloseReleasesGates(t *testing.T) {
 type fakeTarget struct {
 	mu         sync.Mutex
 	last       uint64
+	epoch      uint64
 	boot       []byte
 	bootSeq    uint64
+	bootEpoch  uint64
 	applied    []uint64
 	primarySeq uint64
 	applyErr   error
@@ -278,10 +312,19 @@ func (f *fakeTarget) LastSeq() uint64 {
 	return f.last
 }
 
-func (f *fakeTarget) Bootstrap(seq uint64, snap []byte) error {
+func (f *fakeTarget) Epoch() uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.boot, f.bootSeq, f.last = append([]byte(nil), snap...), seq, seq
+	return f.epoch
+}
+
+func (f *fakeTarget) Bootstrap(seq, epoch uint64, snap []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.boot, f.bootSeq, f.bootEpoch, f.last = append([]byte(nil), snap...), seq, epoch, seq
+	if epoch > f.epoch {
+		f.epoch = epoch
+	}
 	return nil
 }
 
@@ -324,32 +367,32 @@ func TestClientRunSnapshotThenStream(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reading hello: %v", err)
 	}
-	if n, err := ParseHello(line); err != nil || n != 0 {
+	if n, _, err := ParseHello(line); err != nil || n != 0 {
 		t.Fatalf("hello = %q (%v)", line, err)
 	}
 	snap := []byte("# snapshot-seq 4\ndn: o=x\nobjectClass: top\n\n")
-	io.WriteString(prim, SnapshotHeader(4, len(snap)))
+	io.WriteString(prim, SnapshotHeader(4, len(snap), 2))
 	prim.Write(snap)
-	if line, _ = readLine(br); line != strings.TrimRight(AckLine(4), "\n") {
+	if line, _ = readLine(br); line != strings.TrimRight(AckLine(4, 2), "\n") {
 		t.Fatalf("snapshot ack = %q", line)
 	}
-	s5, s6 := seg(t, 5, "dn: a\nchangetype: delete\n\n"), seg(t, 6, "dn: b\nchangetype: delete\n\n")
+	s5, s6 := epochSeg(t, 5, 2, "dn: a\nchangetype: delete\n\n"), epochSeg(t, 6, 2, "dn: b\nchangetype: delete\n\n")
 	prim.Write(s5.Raw)
 	// net.Pipe is synchronous: drain the ack before writing more.
-	if line, _ = readLine(br); line != strings.TrimRight(AckLine(5), "\n") {
+	if line, _ = readLine(br); line != strings.TrimRight(AckLine(5, 2), "\n") {
 		t.Fatalf("ack 5 = %q", line)
 	}
-	io.WriteString(prim, PingLine(6))
+	io.WriteString(prim, PingLine(6, 2))
 	prim.Write(s6.Raw)
-	if line, _ = readLine(br); line != strings.TrimRight(AckLine(6), "\n") {
+	if line, _ = readLine(br); line != strings.TrimRight(AckLine(6, 2), "\n") {
 		t.Fatalf("ack 6 = %q", line)
 	}
 	prim.Close()
 	if err := <-runErr; err != io.EOF {
 		t.Fatalf("Run = %v, want EOF on clean close", err)
 	}
-	if target.bootSeq != 4 || !bytes.Equal(target.boot, snap) {
-		t.Fatalf("bootstrap seq=%d", target.bootSeq)
+	if target.bootSeq != 4 || target.bootEpoch != 2 || !bytes.Equal(target.boot, snap) {
+		t.Fatalf("bootstrap seq=%d epoch=%d", target.bootSeq, target.bootEpoch)
 	}
 	if len(target.applied) != 2 || target.last != 6 || target.primarySeq != 6 {
 		t.Fatalf("applied=%v last=%d primarySeq=%d", target.applied, target.last, target.primarySeq)
@@ -360,18 +403,18 @@ func TestClientRunSnapshotThenStream(t *testing.T) {
 // bootstrap blob.
 func TestClientRunTail(t *testing.T) {
 	cli, prim := net.Pipe()
-	target := &fakeTarget{last: 2}
+	target := &fakeTarget{last: 2, epoch: 1}
 	runErr := make(chan error, 1)
 	go func() { runErr <- Run(cli, target) }()
 
 	br := bufio.NewReader(prim)
 	line, _ := readLine(br)
-	if n, err := ParseHello(line); err != nil || n != 2 {
+	if n, e, err := ParseHello(line); err != nil || n != 2 || e != 1 {
 		t.Fatalf("hello = %q", line)
 	}
-	io.WriteString(prim, TailHeader(3, 1))
+	io.WriteString(prim, TailHeader(3, 1, 1))
 	prim.Write(seg(t, 3, "dn: c\nchangetype: delete\n\n").Raw)
-	if line, _ = readLine(br); line != strings.TrimRight(AckLine(3), "\n") {
+	if line, _ = readLine(br); line != strings.TrimRight(AckLine(3, 1), "\n") {
 		t.Fatalf("ack = %q", line)
 	}
 	prim.Close()
@@ -405,11 +448,97 @@ func TestClientApplyErrorStopsRun(t *testing.T) {
 	go func() { runErr <- Run(cli, target) }()
 	br := bufio.NewReader(prim)
 	readLine(br)
-	io.WriteString(prim, TailHeader(1, 1))
+	io.WriteString(prim, TailHeader(1, 1, 0))
 	prim.Write(seg(t, 1, "dn: a\nchangetype: delete\n\n").Raw)
 	err := <-runErr
 	prim.Close()
 	if err == nil || !strings.Contains(err.Error(), "diverged") {
 		t.Fatalf("apply error = %v", err)
+	}
+}
+
+// TestClientRefusesStalePrimary: a session announcing a lower epoch than
+// the replica's own is refused with ErrStalePrimary, preceded by a
+// poison ACK carrying the replica's higher epoch, and nothing is
+// applied. The same segment from a same-epoch session applies — it is
+// the epoch comparison alone that rejects it.
+func TestClientRefusesStalePrimary(t *testing.T) {
+	conflicting := "dn: split,o=x\nchangetype: delete\n\n"
+
+	// Stale: the primary's TAIL header and segment are from epoch 1,
+	// the replica has adopted epoch 2.
+	cli, prim := net.Pipe()
+	target := &fakeTarget{last: 2, epoch: 2}
+	runErr := make(chan error, 1)
+	go func() { runErr <- Run(cli, target) }()
+	br := bufio.NewReader(prim)
+	readLine(br) // HELLO
+	io.WriteString(prim, TailHeader(3, 1, 1))
+	line, err := readLine(br)
+	if err != nil {
+		t.Fatalf("reading poison ack: %v", err)
+	}
+	seq, epoch, err := ParseAck(line)
+	if err != nil || seq != 2 || epoch != 2 {
+		t.Fatalf("poison ack = %q (seq=%d epoch=%d err=%v), want the replica's seq and higher epoch", line, seq, epoch, err)
+	}
+	if err := <-runErr; !errors.Is(err, ErrStalePrimary) {
+		t.Fatalf("Run = %v, want ErrStalePrimary", err)
+	}
+	if len(target.applied) != 0 || target.last != 2 {
+		t.Fatalf("stale session mutated the target: applied=%v last=%d", target.applied, target.last)
+	}
+	prim.Close()
+
+	// A lower-epoch segment inside an otherwise-accepted session is
+	// refused the same way (the "rejected ship" trigger).
+	cli, prim = net.Pipe()
+	target = &fakeTarget{last: 2, epoch: 2}
+	runErr = make(chan error, 1)
+	go func() { runErr <- Run(cli, target) }()
+	br = bufio.NewReader(prim)
+	readLine(br)
+	io.WriteString(prim, TailHeader(3, 1, 0)) // pre-epoch header: accepted
+	prim.Write(epochSeg(t, 3, 1, conflicting).Raw)
+	if line, _ := readLine(br); !strings.Contains(line, "epoch=2") {
+		t.Fatalf("poison ack = %q", line)
+	}
+	if err := <-runErr; !errors.Is(err, ErrStalePrimary) {
+		t.Fatalf("Run = %v, want ErrStalePrimary", err)
+	}
+	if len(target.applied) != 0 {
+		t.Fatalf("stale segment applied: %v", target.applied)
+	}
+	prim.Close()
+
+	// Control: the identical segment at the replica's own epoch applies.
+	cli, prim = net.Pipe()
+	target = &fakeTarget{last: 2, epoch: 2}
+	runErr = make(chan error, 1)
+	go func() { runErr <- Run(cli, target) }()
+	br = bufio.NewReader(prim)
+	readLine(br)
+	io.WriteString(prim, TailHeader(3, 1, 2))
+	prim.Write(epochSeg(t, 3, 2, conflicting).Raw)
+	if line, _ := readLine(br); line != strings.TrimRight(AckLine(3, 2), "\n") {
+		t.Fatalf("ack = %q", line)
+	}
+	prim.Close()
+	<-runErr
+	if target.last != 3 {
+		t.Fatalf("same-epoch segment not applied: last=%d", target.last)
+	}
+
+	// An ERR refusal mentioning a stale epoch maps to ErrStalePrimary
+	// so callers can distinguish it from ordinary refusals.
+	cli, prim = net.Pipe()
+	runErr = make(chan error, 1)
+	go func() { runErr <- Run(cli, &fakeTarget{epoch: 2}) }()
+	br = bufio.NewReader(prim)
+	readLine(br)
+	io.WriteString(prim, ErrLine("stale epoch: primary is at epoch 1, replica announced epoch 2"))
+	prim.Close()
+	if err := <-runErr; !errors.Is(err, ErrStalePrimary) {
+		t.Fatalf("ERR refusal = %v, want ErrStalePrimary", err)
 	}
 }

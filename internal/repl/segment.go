@@ -8,15 +8,21 @@
 // the wire stream are one format:
 //
 //	<LDIF change records…>
-//	# commit seq=<n> len=<payload bytes> crc=<crc32c, 8 hex digits>
+//	# commit seq=<n> len=<payload bytes> crc=<crc32c, 8 hex digits> epoch=<e>
+//
+// (the epoch field is omitted from records written before replication
+// epochs existed; epoch 0 on the wire means "pre-epoch").
 //
 // Around that byte stream sits a small line-oriented control protocol
-// (protocol.go): a replica opens with "REPL HELLO last_seq=<n>", the
-// primary answers with either a full snapshot or the journal tail, then
-// streams segments forever, interleaving "REPL PING seq=<n>" heartbeats
-// between segments; the replica answers "REPL ACK seq=<n>" after each
-// segment is locally durable, which is what semi-sync commits wait on
-// (hub.go).
+// (protocol.go): a replica opens with "REPL HELLO last_seq=<n>
+// epoch=<e>", the primary answers with either a full snapshot or the
+// journal tail, then streams segments forever, interleaving "REPL PING
+// seq=<n> epoch=<e>" heartbeats between segments; the replica answers
+// "REPL ACK seq=<n> epoch=<e>" after each segment is locally durable,
+// which is what semi-sync commits wait on (hub.go). Epochs fence stale
+// primaries: PROMOTE bumps the epoch, replicas refuse sessions from a
+// lower-epoch primary (client.go), and a primary that observes a higher
+// epoch in a HELLO or an ACK fences itself read-only.
 package repl
 
 import (
@@ -39,10 +45,16 @@ func Checksum(payload []byte) uint32 {
 }
 
 // MarkerLine renders the checksummed marker terminating a transaction's
-// journal payload.
-func MarkerLine(seq uint64, payload []byte) string {
-	return fmt.Sprintf("%s seq=%d len=%d crc=%08x\n",
-		MarkerPrefix, seq, len(payload), Checksum(payload))
+// journal payload. epoch is the replication epoch the transaction was
+// committed under; epoch 0 renders the pre-epoch marker format so
+// journals written before epochs existed stay byte-reproducible.
+func MarkerLine(seq uint64, payload []byte, epoch uint64) string {
+	if epoch == 0 {
+		return fmt.Sprintf("%s seq=%d len=%d crc=%08x\n",
+			MarkerPrefix, seq, len(payload), Checksum(payload))
+	}
+	return fmt.Sprintf("%s seq=%d len=%d crc=%08x epoch=%d\n",
+		MarkerPrefix, seq, len(payload), Checksum(payload), epoch)
 }
 
 // IsMarkerLine reports whether a journal line is a commit marker.
@@ -51,28 +63,36 @@ func IsMarkerLine(line []byte) bool {
 }
 
 // ParseMarker decodes a complete "# commit…" line. legacy is true for
-// the bare pre-checksum marker; err means the line claims to be a
-// marker but its fields do not parse — a damaged marker, which is
-// corruption, not a tear, because the line is complete.
-func ParseMarker(line []byte) (seq uint64, length int64, crc uint32, legacy bool, err error) {
+// the bare pre-checksum marker; epoch is 0 for markers written before
+// replication epochs existed; err means the line claims to be a marker
+// but its fields do not parse — a damaged marker, which is corruption,
+// not a tear, because the line is complete.
+func ParseMarker(line []byte) (seq uint64, length int64, crc uint32, epoch uint64, legacy bool, err error) {
 	rest := line[len(MarkerPrefix):]
 	if len(rest) == 0 {
-		return 0, 0, 0, true, nil
+		return 0, 0, 0, 0, true, nil
 	}
 	if rest[0] != ' ' {
-		return 0, 0, 0, false, fmt.Errorf("damaged marker %q", line)
+		return 0, 0, 0, 0, false, fmt.Errorf("damaged marker %q", line)
 	}
-	n, serr := fmt.Sscanf(string(rest), " seq=%d len=%d crc=%x", &seq, &length, &crc)
-	if serr != nil || n != 3 || seq == 0 {
-		return 0, 0, 0, false, fmt.Errorf("damaged marker %q", line)
+	n, serr := fmt.Sscanf(string(rest), " seq=%d len=%d crc=%x epoch=%d", &seq, &length, &crc, &epoch)
+	if n == 3 && seq != 0 && !bytes.Contains(rest, []byte(" epoch=")) {
+		// Pre-epoch marker: three fields and no epoch token. Sscanf
+		// reports an error for the missing fourth verb; that is not
+		// damage.
+		return seq, length, crc, 0, false, nil
 	}
-	return seq, length, crc, false, nil
+	if serr != nil || n != 4 || seq == 0 {
+		return 0, 0, 0, 0, false, fmt.Errorf("damaged marker %q", line)
+	}
+	return seq, length, crc, epoch, false, nil
 }
 
 // Segment is one verified replication unit: exactly one committed
 // transaction as it sits in the journal.
 type Segment struct {
 	Seq     uint64
+	Epoch   uint64 // replication epoch from the marker; 0 for pre-epoch records
 	Payload []byte // the LDIF change records, without the marker line
 	Raw     []byte // Payload plus the marker line — the verbatim journal bytes
 }
@@ -80,8 +100,8 @@ type Segment struct {
 // RawSegment reconstructs the verbatim journal bytes of a payload at
 // seq. Because MarkerLine is deterministic, the result is byte-identical
 // to what the committer appended.
-func RawSegment(seq uint64, payload []byte) []byte {
-	marker := MarkerLine(seq, payload)
+func RawSegment(seq uint64, payload []byte, epoch uint64) []byte {
+	marker := MarkerLine(seq, payload, epoch)
 	raw := make([]byte, 0, len(payload)+len(marker))
 	raw = append(raw, payload...)
 	raw = append(raw, marker...)

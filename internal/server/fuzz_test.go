@@ -16,7 +16,7 @@ import (
 func FuzzScanJournal(f *testing.F) {
 	p1 := []byte("dn: uid=a,o=att\nchangetype: add\nobjectClass: person\n\n")
 	p2 := []byte("dn: uid=b,o=att\nchangetype: add\nobjectClass: person\n\n")
-	valid := append(append([]byte{}, repl.RawSegment(1, p1)...), repl.RawSegment(2, p2)...)
+	valid := append(append([]byte{}, repl.RawSegment(1, p1, 0)...), repl.RawSegment(2, p2, 0)...)
 	f.Add([]byte{})
 	f.Add(valid)
 	f.Add(append(append([]byte{}, valid...), []byte("dn: uid=torn,o=att\nchangetype:")...))

@@ -137,7 +137,7 @@ func (s *Server) appendCommit(tx *txn.Transaction) (uint64, error) {
 		return 0, err // nothing reached the disk
 	}
 	seq := s.commitSeq + 1
-	buf.WriteString(repl.MarkerLine(seq, buf.Bytes()))
+	buf.WriteString(repl.MarkerLine(seq, buf.Bytes(), s.epoch.Load()))
 	cw := &countingWriter{w: j.f}
 	_, err := cw.Write(buf.Bytes())
 	if err == nil {
@@ -187,6 +187,9 @@ func (s *Server) rotateJournal() error {
 	}
 	w := bufio.NewWriter(f)
 	fmt.Fprintf(w, "%s%d\n", snapshotSeqPrefix, s.commitSeq)
+	if e := s.epoch.Load(); e > 0 {
+		fmt.Fprintf(w, "%s%d\n", snapshotEpochPrefix, e)
+	}
 	err = ldif.WriteDirectory(w, s.dir)
 	if err == nil {
 		err = w.Flush()

@@ -141,6 +141,12 @@ type Metrics struct {
 	JournalRotations atomic.Int64
 	JournalErrors    atomic.Int64
 
+	// Replication fencing: FencingEvents counts times this node fenced
+	// itself after observing a higher epoch; EpochRejects counts streams
+	// this node refused to follow because the primary's epoch was stale.
+	FencingEvents atomic.Int64
+	EpochRejects  atomic.Int64
+
 	// Recovery: what OpenJournal's startup pass found. Set once per
 	// process (recRan flips to 1); recClean is a gauge — 1 means the last
 	// recovery neither truncated nor quarantined anything.
@@ -293,14 +299,18 @@ func (m *Metrics) lines(journalOn bool, readOnly string, rs replStatus) []string
 		out = append(out, "read_only: "+readOnly)
 	}
 	out = append(out, "role: "+rs.role)
+	out = append(out, fmt.Sprintf("epoch: %d", rs.epoch))
+	if fe, er := m.FencingEvents.Load(), m.EpochRejects.Load(); fe+er > 0 {
+		out = append(out, fmt.Sprintf("fencing: events=%d epoch_rejects=%d", fe, er))
+	}
 	if rs.hub != nil {
 		degraded := 0
 		if rs.hub.Degraded {
 			degraded = 1
 		}
 		out = append(out, fmt.Sprintf(
-			"replication: mode=%s replicas=%d last_shipped=%d acked_seq=%d semisync_degraded=%d",
-			rs.hub.Mode, rs.hub.Replicas, rs.hub.LastShipped, rs.hub.AckedSeq, degraded))
+			"replication: mode=%s replicas=%d last_shipped=%d acked_seq=%d semisync_degraded=%d epoch=%d",
+			rs.hub.Mode, rs.hub.Replicas, rs.hub.LastShipped, rs.hub.AckedSeq, degraded, rs.hub.Epoch))
 	}
 	if rs.replica {
 		var lag uint64
@@ -413,6 +423,13 @@ func (m *Metrics) snapshot(journalOn bool, readOnly string, rs replStatus) map[s
 		out["read_only"] = readOnly
 	}
 	out["role"] = rs.role
+	out["epoch"] = rs.epoch
+	if fe, er := m.FencingEvents.Load(), m.EpochRejects.Load(); fe+er > 0 {
+		out["fencing"] = map[string]int64{
+			"events":        fe,
+			"epoch_rejects": er,
+		}
+	}
 	if rs.hub != nil {
 		out["replication"] = map[string]any{
 			"mode":              rs.hub.Mode.String(),
@@ -420,6 +437,7 @@ func (m *Metrics) snapshot(journalOn bool, readOnly string, rs replStatus) map[s
 			"last_shipped":      rs.hub.LastShipped,
 			"acked_seq":         rs.hub.AckedSeq,
 			"semisync_degraded": rs.hub.Degraded,
+			"epoch":             rs.hub.Epoch,
 		}
 	}
 	if rs.replica {

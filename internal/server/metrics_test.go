@@ -186,8 +186,10 @@ func TestMetricsLineOrder(t *testing.T) {
 	m.SearchScanned.Add(1)
 	m.violations[0].Add(1)
 
-	hub := repl.HubStatus{Mode: repl.SemiSync, Replicas: 2, LastShipped: 9, AckedSeq: 9}
-	rs := replStatus{role: "read-only degraded", hub: &hub, replica: true,
+	m.FencingEvents.Add(1)
+
+	hub := repl.HubStatus{Mode: repl.SemiSync, Replicas: 2, LastShipped: 9, AckedSeq: 9, Epoch: 3}
+	rs := replStatus{role: "read-only degraded", epoch: 3, hub: &hub, replica: true,
 		primarySeq: 9, localSeq: 8, applied: 4}
 	got := m.lines(true, "stuck", rs)
 
@@ -202,6 +204,8 @@ func TestMetricsLineOrder(t *testing.T) {
 		"recovery",
 		"read_only",
 		"role",
+		"epoch",
+		"fencing",
 		"replication",
 		"replica",
 		"checker sequential",
@@ -227,10 +231,16 @@ func TestMetricsLineOrder(t *testing.T) {
 	if l := got[9]; l != "role: read-only degraded" {
 		t.Errorf("role line = %q", l)
 	}
-	if l := got[10]; l != "replication: mode=semisync replicas=2 last_shipped=9 acked_seq=9 semisync_degraded=0" {
+	if l := got[10]; l != "epoch: 3" {
+		t.Errorf("epoch line = %q", l)
+	}
+	if l := got[11]; l != "fencing: events=1 epoch_rejects=0" {
+		t.Errorf("fencing line = %q", l)
+	}
+	if l := got[12]; l != "replication: mode=semisync replicas=2 last_shipped=9 acked_seq=9 semisync_degraded=0 epoch=3" {
 		t.Errorf("replication line = %q", l)
 	}
-	if l := got[11]; l != "replica: primary_seq=9 applied_seq=8 lag=1 applied=4" {
+	if l := got[13]; l != "replica: primary_seq=9 applied_seq=8 lag=1 applied=4" {
 		t.Errorf("replica line = %q", l)
 	}
 
@@ -246,7 +256,7 @@ func TestMetricsLineOrder(t *testing.T) {
 	if idx == -1 {
 		t.Fatalf("no role line on a plain server:\n%s", strings.Join(plain, "\n"))
 	}
-	if !strings.HasPrefix(plain[idx-1], "journal:") || !strings.HasPrefix(plain[idx+1], "checker sequential:") {
+	if !strings.HasPrefix(plain[idx-1], "journal:") || !strings.HasPrefix(plain[idx+1], "epoch:") {
 		t.Errorf("role line neighbours = %q / %q", plain[idx-1], plain[idx+1])
 	}
 }

@@ -49,11 +49,18 @@ import (
 // scanner, verdict logic and replay driver.
 const snapshotSeqPrefix = "# snapshot-seq "
 
+// snapshotEpochPrefix heads the second snapshot line, recording the
+// replication epoch the snapshot was taken under. Absent on snapshots
+// from before epochs existed (epoch 0, "unknown").
+const snapshotEpochPrefix = "# snapshot-epoch "
+
 // journalTxn is one scanned transaction: the payload bytes of its LDIF
 // change records plus the marker header that vouched for them. seq is 0
-// for legacy records (bare marker or headerless journal).
+// for legacy records (bare marker or headerless journal); epoch is 0
+// for records written before replication epochs existed.
 type journalTxn struct {
 	seq     uint64
+	epoch   uint64
 	payload []byte
 	legacy  bool
 }
@@ -72,6 +79,7 @@ type scanResult struct {
 	tornBytes int64  // unacknowledged tail after the last complete marker
 	lastSeq   uint64 // highest verified sequence number
 	firstSeq  uint64 // first verified sequence number (0 if none)
+	lastEpoch uint64 // highest epoch any verified marker carries
 
 	corrupt       bool
 	corruptReason string
@@ -121,7 +129,7 @@ func scanJournal(data []byte) *scanResult {
 			continue
 		}
 		payload := data[segStart:pos]
-		seq, length, crc, legacy, err := repl.ParseMarker(line)
+		seq, length, crc, epoch, legacy, err := repl.ParseMarker(line)
 		switch {
 		case err != nil:
 			fail(err.Error())
@@ -149,12 +157,15 @@ func scanJournal(data []byte) *scanResult {
 			case expect != 0 && seq != expect:
 				fail(fmt.Sprintf("sequence break: expected seq=%d, found seq=%d", expect, seq))
 			default:
-				sr.txns = append(sr.txns, journalTxn{seq: seq, payload: payload})
+				sr.txns = append(sr.txns, journalTxn{seq: seq, epoch: epoch, payload: payload})
 				sr.verified++
 				if sr.firstSeq == 0 {
 					sr.firstSeq = seq
 				}
 				sr.lastSeq = seq
+				if epoch > sr.lastEpoch {
+					sr.lastEpoch = epoch
+				}
 				expect = seq + 1
 			}
 		}
@@ -248,34 +259,55 @@ func (s *Server) quarantine(path string, data []byte) (string, error) {
 }
 
 // loadSnapshot reads and validates the snapshot sidecar, returning the
-// directory it holds and the sequence number it compacted through (0
-// for snapshots written before the header existed, or none).
-func (s *Server) loadSnapshot(snapPath string) (loaded bool, snapSeq uint64, err error) {
+// directory it holds, the sequence number it compacted through and the
+// replication epoch it was taken under (both 0 for snapshots written
+// before the headers existed, or none).
+func (s *Server) loadSnapshot(snapPath string) (loaded bool, snapSeq, snapEpoch uint64, err error) {
 	data, rerr := s.fs.ReadFile(snapPath)
 	if rerr != nil {
 		if errors.Is(rerr, iofs.ErrNotExist) {
-			return false, 0, nil
+			return false, 0, 0, nil
 		}
-		return false, 0, rerr
+		return false, 0, 0, rerr
 	}
-	if rest, ok := bytes.CutPrefix(data, []byte(snapshotSeqPrefix)); ok {
-		if nl := bytes.IndexByte(rest, '\n'); nl >= 0 {
-			fmt.Sscanf(string(rest[:nl]), "%d", &snapSeq)
-		}
-	}
+	snapSeq, snapEpoch = parseSnapshotHeaders(data)
 	d, rerr := ldif.ReadDirectory(bytes.NewReader(data), s.schema.Registry)
 	if rerr != nil {
-		return false, 0, fmt.Errorf("server: snapshot %s: %v", snapPath, rerr)
+		return false, 0, 0, fmt.Errorf("server: snapshot %s: %v", snapPath, rerr)
 	}
 	if r := s.checker.Check(d); !r.Legal() {
-		return false, 0, fmt.Errorf("server: snapshot %s is illegal:\n%s", snapPath, r)
+		return false, 0, 0, fmt.Errorf("server: snapshot %s is illegal:\n%s", snapPath, r)
 	}
 	s.mu.Lock()
 	s.dir = d
 	s.dir.EnsureEncoded()
 	s.reindex(d)
 	s.mu.Unlock()
-	return true, snapSeq, nil
+	return true, snapSeq, snapEpoch, nil
+}
+
+// parseSnapshotHeaders reads the "# snapshot-seq" and "# snapshot-epoch"
+// comment lines off the top of a snapshot blob. Either may be absent
+// (older snapshots); the LDIF reader ignores both as comments.
+func parseSnapshotHeaders(data []byte) (seq, epoch uint64) {
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			nl = len(data) - 1
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		if rest, ok := bytes.CutPrefix(line, []byte(snapshotSeqPrefix)); ok {
+			fmt.Sscanf(string(rest), "%d", &seq)
+			continue
+		}
+		if rest, ok := bytes.CutPrefix(line, []byte(snapshotEpochPrefix)); ok {
+			fmt.Sscanf(string(rest), "%d", &epoch)
+			continue
+		}
+		return seq, epoch // headers only ever lead the file
+	}
+	return seq, epoch
 }
 
 // recoverJournal runs the full recovery pipeline for path: load the
@@ -288,7 +320,7 @@ func (s *Server) recoverJournal(path string) (*RecoveryReport, error) {
 	rep := &RecoveryReport{JournalPath: path}
 	snapPath := path + ".snapshot"
 
-	loaded, snapSeq, err := s.loadSnapshot(snapPath)
+	loaded, snapSeq, snapEpoch, err := s.loadSnapshot(snapPath)
 	if err != nil {
 		return rep, err
 	}
@@ -474,9 +506,22 @@ func (s *Server) recoverJournal(path string) (*RecoveryReport, error) {
 	}
 	rep.Clean = sr.tornBytes == 0 && !rep.Quarantined
 
+	// The recovered replication epoch is the highest the disk remembers
+	// — snapshot header or commit marker — floored at 1: every live
+	// server runs at epoch ≥ 1, so epoch 0 stays reserved for
+	// "pre-epoch/unknown" on the wire and on disk.
+	epoch := snapEpoch
+	if sr.lastEpoch > epoch {
+		epoch = sr.lastEpoch
+	}
+	if epoch == 0 {
+		epoch = 1
+	}
+
 	s.mu.Lock()
 	s.journal = &journal{path: path, snapPath: snapPath, f: f, size: size}
 	s.commitSeq = lastSeq
+	s.epoch.Store(epoch)
 	s.mu.Unlock()
 	s.metrics.JournalBytes.Store(size)
 	return rep, nil

@@ -364,7 +364,7 @@ func TestFsck(t *testing.T) {
 // TestScanJournal covers the scanner's verdicts in isolation.
 func TestScanJournal(t *testing.T) {
 	payload := "dn: uid=x,o=att\nchangetype: add\nobjectClass: person\n\n"
-	rec := func(seq uint64) string { return payload + repl.MarkerLine(seq, []byte(payload)) }
+	rec := func(seq uint64) string { return payload + repl.MarkerLine(seq, []byte(payload), 0) }
 
 	t.Run("verified-run", func(t *testing.T) {
 		sr := scanJournal([]byte(rec(1) + rec(2) + rec(3)))

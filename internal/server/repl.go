@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strings"
 	"time"
@@ -38,7 +39,20 @@ import (
 //
 // PROMOTE turns a caught-up replica writable: the streaming loop is
 // stopped, the journal is re-verified end to end (checksums, sequence
-// continuity, full legality), and only then does the role flip.
+// continuity, full legality), the replication epoch is bumped and made
+// durable, and only then does the role flip.
+//
+// Epochs fence the old primary out after a failover. Every handshake,
+// ACK, ping and shipped segment carries the shipper's epoch; a primary
+// that observes a higher epoch anywhere fences itself read-only, and a
+// replica refuses to apply a stream from a lower-epoch primary
+// (repl.ErrStalePrimary), answering with a poison ACK that carries its
+// own epoch so the stale primary learns why. During a full partition
+// both sides may briefly accept writes (fencing is reactive, not a
+// lease); the guarantee is that the partitioned minority fences on
+// first contact with any higher-epoch artifact once connectivity
+// returns, and semi-sync callers can bound the acked-write loss window
+// to zero by promoting the most-advanced replica.
 
 // Role is the server's replication role.
 type Role int32
@@ -63,15 +77,41 @@ func (s *Server) Role() Role { return Role(s.role.Load()) }
 
 // roleString is the role as STAT and METRICS report it: a server that
 // degraded to read-only (journal failure, divergence) says so instead
-// of claiming a healthy role.
+// of claiming a healthy role, and a primary that fenced itself after
+// observing a newer epoch says "fenced" so failover tooling can tell
+// the two apart.
 func (s *Server) roleString() string {
 	s.mu.RLock()
 	ro := s.readOnly
 	s.mu.RUnlock()
+	if strings.HasPrefix(ro, fencedPrefix) {
+		return "fenced"
+	}
 	if ro != "" {
 		return "read-only degraded"
 	}
 	return s.Role().String()
+}
+
+// fencedPrefix starts the read-only reason of a fenced ex-primary; the
+// rest of the reason is parseable evidence (observed epoch, source).
+const fencedPrefix = "fenced:"
+
+// fence flips this primary read-only after it observed evidence of a
+// higher replication epoch — a replica HELLO, an ACK, or a rejected
+// ship all mean a PROMOTE happened elsewhere and this node lost any
+// claim to the write role. Fencing is sticky: only an operator restart
+// (which recovers the durable epoch) or explicit intervention clears
+// it. No-op if the server is already read-only for any reason.
+func (s *Server) fence(observed uint64, source string) {
+	s.mu.Lock()
+	if s.readOnly == "" {
+		s.readOnly = fmt.Sprintf("%s observed epoch %d > local epoch %d via %s; a newer primary exists",
+			fencedPrefix, observed, s.epoch.Load(), source)
+		s.metrics.FencingEvents.Add(1)
+		s.logf("repl: %s", s.readOnly)
+	}
+	s.mu.Unlock()
 }
 
 // writeRedirect returns the rejection message for write traffic on a
@@ -140,6 +180,7 @@ func (s *Server) ReplicaSeqs() (local, primary uint64) {
 // expvar snapshot. Collected off s.mu by replMetrics.
 type replStatus struct {
 	role       string
+	epoch      uint64
 	hub        *repl.HubStatus // primary with a replication listener
 	replica    bool
 	primarySeq uint64
@@ -148,7 +189,7 @@ type replStatus struct {
 }
 
 func (s *Server) replMetrics() replStatus {
-	rs := replStatus{role: s.roleString()}
+	rs := replStatus{role: s.roleString(), epoch: s.epoch.Load()}
 	if hub := s.replHub.Load(); hub != nil {
 		st := hub.Status()
 		rs.hub = &st
@@ -172,12 +213,16 @@ func (s *Server) ListenRepl(addr string) (string, error) {
 		return "", errors.New("server: replication requires a journal (OpenJournal first)")
 	}
 	hub := repl.NewHub(s.replMode, s.replAckTO, 0, s.logf)
+	hub.SetEpoch(s.epoch.Load())
 	s.replHub.Store(hub)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		hub.Close()
 		s.replHub.Store(nil)
 		return "", err
+	}
+	if s.replListenWrap != nil {
+		ln = s.replListenWrap(ln)
 	}
 	s.replLn = ln
 	s.wg.Add(1)
@@ -226,15 +271,23 @@ func (s *Server) handleReplConn(conn net.Conn, hub *repl.Hub) {
 	if err != nil {
 		return
 	}
-	last, err := repl.ParseHello(strings.TrimRight(line, "\r\n"))
+	last, repEpoch, err := repl.ParseHello(strings.TrimRight(line, "\r\n"))
 	if err != nil {
 		io.WriteString(conn, repl.ErrLine(err.Error()))
+		return
+	}
+	if local := s.epoch.Load(); repEpoch > local {
+		// The replica lived through a PROMOTE this node missed: it must
+		// not follow us, and we must stop taking writes.
+		s.fence(repEpoch, fmt.Sprintf("HELLO from replica %s", conn.RemoteAddr()))
+		io.WriteString(conn, repl.ErrLine(fmt.Sprintf(
+			"stale epoch: this primary is at epoch %d, replica announced epoch %d", local, repEpoch)))
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
 	var sub *repl.Sub
 	err = s.atQuiescent(func() error {
-		first, ferr := s.replCatchup(last)
+		first, ferr := s.replCatchup(last, repEpoch)
 		if ferr != nil {
 			return ferr
 		}
@@ -255,9 +308,15 @@ func (s *Server) handleReplConn(conn net.Conn, hub *repl.Hub) {
 		if err != nil {
 			break
 		}
-		seq, aerr := repl.ParseAck(strings.TrimRight(line, "\r\n"))
+		seq, ackEpoch, aerr := repl.ParseAck(strings.TrimRight(line, "\r\n"))
 		if aerr != nil {
 			s.logf("repl: replica %s: %v", conn.RemoteAddr(), aerr)
+			break
+		}
+		if ackEpoch > s.epoch.Load() {
+			// A poison ACK: the replica refused our stream because it has
+			// seen a newer primary. Fence and drop the session.
+			s.fence(ackEpoch, fmt.Sprintf("ACK from replica %s", conn.RemoteAddr()))
 			break
 		}
 		hub.Ack(sub, seq)
@@ -286,27 +345,40 @@ func (s *Server) atQuiescent(fn func() error) error {
 const maxTailBytes = 256 << 20
 
 // replCatchup builds the catch-up bytes for a replica that holds
-// everything through last: a TAIL header plus the verbatim journal
-// segments above last when the on-disk journal covers them cleanly, or
-// a SNAPSHOT header plus the encoded instance. Called under s.mu at a
-// quiescent point.
-func (s *Server) replCatchup(last uint64) ([][]byte, error) {
+// everything through last at epoch repEpoch: a TAIL header plus the
+// verbatim journal segments above last when the replica is on this
+// primary's epoch and the on-disk journal covers the range cleanly, or
+// a SNAPSHOT header plus the encoded instance. A replica announcing a
+// LOWER epoch rejoined after missing at least one failover — its
+// journal may hold a history this primary's epoch rewrote, so it never
+// tails: it bootstraps from a snapshot, which resets its journal and
+// adopts the current epoch. (repEpoch 0 is a pre-epoch client and is
+// trusted like an equal epoch.) Called under s.mu at a quiescent point.
+func (s *Server) replCatchup(last, repEpoch uint64) ([][]byte, error) {
 	cur := s.commitSeq
-	if last > cur {
-		return nil, fmt.Errorf("replica is ahead of this primary (replica seq=%d, primary seq=%d): refusing to serve a diverged history", last, cur)
-	}
-	if last == cur {
-		return [][]byte{[]byte(repl.TailHeader(cur+1, 0))}, nil
-	}
-	if tail, ok := s.journalTail(last, cur); ok {
-		return [][]byte{[]byte(repl.TailHeader(last+1, int(cur-last))), tail}, nil
+	epoch := s.epoch.Load()
+	if repEpoch == epoch || repEpoch == 0 {
+		if last > cur {
+			return nil, fmt.Errorf("replica is ahead of this primary (replica seq=%d, primary seq=%d): refusing to serve a diverged history", last, cur)
+		}
+		if last == cur {
+			return [][]byte{[]byte(repl.TailHeader(cur+1, 0, epoch))}, nil
+		}
+		if tail, ok := s.journalTail(last, cur); ok {
+			return [][]byte{[]byte(repl.TailHeader(last+1, int(cur-last), epoch)), tail}, nil
+		}
 	}
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, "%s%d\n", snapshotSeqPrefix, cur)
+	if epoch > 0 {
+		// The header rides inside the blob, so a replica restart recovers
+		// the adopted epoch from its local snapshot sidecar.
+		fmt.Fprintf(&buf, "%s%d\n", snapshotEpochPrefix, epoch)
+	}
 	if err := ldif.WriteDirectory(&buf, s.dir); err != nil {
 		return nil, fmt.Errorf("encoding snapshot: %v", err)
 	}
-	return [][]byte{[]byte(repl.SnapshotHeader(cur, buf.Len())), buf.Bytes()}, nil
+	return [][]byte{[]byte(repl.SnapshotHeader(cur, buf.Len(), epoch)), buf.Bytes()}, nil
 }
 
 // journalTail reconstructs the verbatim segment bytes for sequences
@@ -331,7 +403,7 @@ func (s *Server) journalTail(last, cur uint64) ([]byte, bool) {
 		if jt.seq <= last {
 			continue
 		}
-		buf.Write(repl.RawSegment(jt.seq, jt.payload))
+		buf.Write(repl.RawSegment(jt.seq, jt.payload, jt.epoch))
 		if buf.Len() > maxTailBytes {
 			return nil, false
 		}
@@ -421,21 +493,31 @@ func (s *Server) closeReplConn() {
 }
 
 // replicaLoop dials the primary and streams until shutdown, promotion,
-// or divergence, reconnecting with backoff on transient failures. A
-// reconnect re-runs the HELLO handshake, which heals sequence gaps: the
-// replica re-announces what it durably holds and the primary re-derives
-// the catch-up.
+// or divergence, reconnecting with jittered backoff on transient
+// failures. A reconnect re-runs the HELLO handshake, which heals
+// sequence gaps: the replica re-announces what it durably holds and the
+// primary re-derives the catch-up. A session refused for a stale epoch
+// (the dialed primary is older than this replica) is NOT divergence:
+// the loop keeps retrying so a failover manager can repoint the address
+// or restart the fenced node.
 func (s *Server) replicaLoop(addr string) {
 	defer close(s.replicaDone)
+	dial := s.dialer
+	if dial == nil {
+		dial = func(a string, to time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", a, to)
+		}
+	}
 	backoff := 100 * time.Millisecond
 	for {
 		if s.replicaStopped() {
 			return
 		}
-		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		conn, err := dial(addr, 2*time.Second)
 		if err != nil {
-			s.logf("repl: dial %s: %v; retrying in %v", addr, err, backoff)
-			if !s.replicaSleep(backoff) {
+			d := jitterBackoff(backoff)
+			s.logf("repl: dial %s: %v; retrying in %v", addr, err, d)
+			if !s.replicaSleep(d) {
 				return
 			}
 			backoff = minDuration(backoff*2, 3*time.Second)
@@ -462,12 +544,29 @@ func (s *Server) replicaLoop(addr string) {
 		if s.replicaStopped() {
 			return
 		}
-		s.logf("repl: stream from %s ended: %v; reconnecting in %v", addr, err, backoff)
-		if !s.replicaSleep(backoff) {
+		if errors.Is(err, repl.ErrStalePrimary) {
+			s.metrics.EpochRejects.Add(1)
+		}
+		d := jitterBackoff(backoff)
+		s.logf("repl: stream from %s ended: %v; reconnecting in %v", addr, err, d)
+		if !s.replicaSleep(d) {
 			return
 		}
 		backoff = minDuration(backoff*2, 3*time.Second)
 	}
+}
+
+// jitterBackoff spreads a reconnect delay with equal jitter: half of d
+// fixed plus a uniform random half. Replicas that all lost the same
+// primary at the same instant otherwise reconnect in lockstep and
+// hammer the new primary with synchronized HELLO/catch-up storms on
+// every backoff step.
+func jitterBackoff(d time.Duration) time.Duration {
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int63n(int64(half)+1))
 }
 
 // replicaSleep waits d, returning false if the loop should exit instead.
@@ -501,8 +600,10 @@ func (t replicaTarget) LastSeq() uint64 {
 	return t.s.commitSeq
 }
 
-func (t replicaTarget) Bootstrap(seq uint64, snapshot []byte) error {
-	return t.s.bootstrapFromPrimary(seq, snapshot)
+func (t replicaTarget) Epoch() uint64 { return t.s.epoch.Load() }
+
+func (t replicaTarget) Bootstrap(seq, epoch uint64, snapshot []byte) error {
+	return t.s.bootstrapFromPrimary(seq, epoch, snapshot)
 }
 
 func (t replicaTarget) Apply(seg repl.Segment) error {
@@ -524,8 +625,10 @@ func (t replicaTarget) ObservePrimarySeq(seq uint64) {
 // truncate the journal, and swap the served instance. The snapshot-seq
 // header inside the blob makes every crash window benign: recovery
 // either finds the old state or the new snapshot, and journal records
-// the snapshot already covers are skipped by seq on replay.
-func (s *Server) bootstrapFromPrimary(seq uint64, snapshot []byte) error {
+// the snapshot already covers are skipped by seq on replay. A snapshot
+// from a higher epoch also advances this replica's epoch — that is how
+// a rejoining node adopts the regime of a promoted primary.
+func (s *Server) bootstrapFromPrimary(seq, epoch uint64, snapshot []byte) error {
 	d, err := ldif.ReadDirectory(bytes.NewReader(snapshot), s.schema.Registry)
 	if err != nil {
 		return fmt.Errorf("%w: primary snapshot undecodable: %v", errDiverged, err)
@@ -573,8 +676,11 @@ func (s *Server) bootstrapFromPrimary(seq uint64, snapshot []byte) error {
 	s.dir.EnsureEncoded()
 	s.reindex(d)
 	s.commitSeq = seq
+	if epoch > s.epoch.Load() {
+		s.epoch.Store(epoch)
+	}
 	s.metrics.JournalBytes.Store(0)
-	s.logf("repl: bootstrapped from primary snapshot through seq %d (%d bytes)", seq, len(snapshot))
+	s.logf("repl: bootstrapped from primary snapshot through seq %d epoch %d (%d bytes)", seq, s.epoch.Load(), len(snapshot))
 	return nil
 }
 
@@ -665,7 +771,14 @@ func (s *Server) degradeReplica(reason string) {
 
 // Promote turns a caught-up replica into a writable primary: stop the
 // streaming loop, re-verify the local journal end to end (checksums,
-// sequence continuity, full legality), and only then flip the role.
+// sequence continuity, full legality), bump the replication epoch and
+// make it durable, and only then flip the role. The epoch bump is the
+// fencing token of the failover: every segment this node ships and
+// every HELLO its replicas relay carries the new epoch, so the old
+// primary fences itself on first contact with any of it — and because
+// the epoch is persisted (in the rotated snapshot's header) before the
+// role flips, a crash+restart of this node can never resurrect the old
+// epoch. Promotion is refused if the epoch cannot be made durable.
 // The verify lines are returned for the PROMOTE protocol reply. The
 // promoted server does not start its own replication listener — that
 // remains an operator decision (restart with -repl-addr, or point the
@@ -704,6 +817,21 @@ func (s *Server) Promote() ([]string, error) {
 	if err != nil {
 		return lines, fmt.Errorf("refusing promotion, journal verify failed: %v", err)
 	}
+	// Bump the epoch and persist it by rotating the journal (the
+	// snapshot header carries it) BEFORE the role flips: a node that
+	// accepts a write and then forgets its epoch across a restart would
+	// re-split the brain. On failure the node stays a (non-streaming)
+	// replica; PROMOTE can be retried and bumps again — epochs need
+	// monotonicity, not density.
+	newEpoch := s.epoch.Load() + 1
+	s.mu.Lock()
+	s.epoch.Store(newEpoch)
+	s.dir.EnsureEncoded()
+	rerr := s.rotateJournal()
+	s.mu.Unlock()
+	if rerr != nil {
+		return lines, fmt.Errorf("refusing promotion, could not persist epoch %d: %v", newEpoch, rerr)
+	}
 	s.role.Store(int32(RolePrimary))
 	s.mu.Lock()
 	// Trusted replica apply bypasses count/key index maintenance (the
@@ -716,7 +844,7 @@ func (s *Server) Promote() ([]string, error) {
 	}
 	local := s.commitSeq
 	s.mu.Unlock()
-	s.logf("repl: promoted to primary at seq %d", local)
+	s.logf("repl: promoted to primary at seq %d epoch %d", local, newEpoch)
 	return lines, nil
 }
 

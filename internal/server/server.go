@@ -172,6 +172,20 @@ type Server struct {
 	replConn          net.Conn
 	primarySeq        atomic.Uint64
 	replApplied       atomic.Int64
+
+	// epoch is the replication epoch this node last adopted: 1 from New,
+	// recovered from the journal/snapshot headers by OpenJournal, bumped
+	// (and persisted via rotation) by Promote, adopted from the wire by a
+	// bootstrap. A primary that observes a higher epoch fences itself
+	// read-only (see fence in repl.go).
+	epoch atomic.Uint64
+
+	// dialer replaces net.DialTimeout for the replica's connection to
+	// the primary; replListenWrap wraps the replication listener. Both
+	// exist so tests can thread internal/netfault through the transport.
+	// Set before StartReplica / ListenRepl; nil means the real network.
+	dialer        func(addr string, timeout time.Duration) (net.Conn, error)
+	replListenWrap func(net.Listener) net.Listener
 }
 
 // New creates a server over the given schema and initial instance. The
@@ -207,7 +221,25 @@ func New(schema *core.Schema, name string, dir *dirtree.Directory) (*Server, err
 		groupCommit: true,
 	}
 	checker.OnTiming = s.metrics.noteCheckTiming
+	s.epoch.Store(1)
 	return s, nil
+}
+
+// Epoch returns the replication epoch this node is currently at.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// SetDialer replaces the dialer the replica loop uses to reach the
+// primary — the hook tests use to thread a netfault.Fault through the
+// replication transport. Call before StartReplica; nil restores the
+// real network.
+func (s *Server) SetDialer(d func(addr string, timeout time.Duration) (net.Conn, error)) {
+	s.dialer = d
+}
+
+// SetReplListenerWrap wraps the replication listener (and so every
+// accepted replica connection). Call before ListenRepl.
+func (s *Server) SetReplListenerWrap(w func(net.Listener) net.Listener) {
+	s.replListenWrap = w
 }
 
 // reindex rebuilds the applier's incremental indexes over a freshly
@@ -828,7 +860,7 @@ func (s *Server) CommitTx(tx *txn.Transaction) (*core.Report, error) {
 	seq := s.commitSeq + 1
 	// The checksummed marker terminates the transaction for atomic replay;
 	// it covers exactly the payload bytes written so far.
-	buf.WriteString(repl.MarkerLine(seq, buf.Bytes()))
+	buf.WriteString(repl.MarkerLine(seq, buf.Bytes(), s.epoch.Load()))
 	s.commitSeq = seq
 	req := &commitReq{seq: seq, data: buf.Bytes(), undo: undo, done: make(chan error, 1)}
 	s.committer.stage(req)
@@ -966,6 +998,7 @@ func (se *session) stat() {
 	se.srv.mu.RLock()
 	defer se.srv.mu.RUnlock()
 	se.reply("role: " + role)
+	se.reply(fmt.Sprintf("epoch: %d", se.srv.epoch.Load()))
 	se.reply(fmt.Sprintf("entries: %d", se.srv.dir.Len()))
 	names := se.srv.dir.ClassNames()
 	sort.Strings(names)

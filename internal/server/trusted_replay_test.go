@@ -41,7 +41,7 @@ func doctoredJournal(payloads ...string) []byte {
 	var buf bytes.Buffer
 	for i, p := range payloads {
 		buf.WriteString(p)
-		buf.WriteString(repl.MarkerLine(uint64(i+1), []byte(p)))
+		buf.WriteString(repl.MarkerLine(uint64(i+1), []byte(p), 0))
 	}
 	return buf.Bytes()
 }
