@@ -9,6 +9,7 @@
 //	bsbench all            # run every experiment
 //	bsbench e1 ... e10     # run one experiment
 //	bsbench -quick all     # smaller sweeps (CI-sized)
+//	bsbench trend [dir]    # cross-run headline report over BENCH_*.json
 //
 // Experiments:
 //
@@ -30,6 +31,7 @@
 //	e18 streaming replication: read fan-out and the semi-sync write price
 //	e20 attribute-value indexes: SEARCH latency vs instance size
 //	e21 epoch-fenced failover: time-to-writable, acked-write loss, fencing
+//	e22 subtree sharding: aggregate write throughput vs shard count
 package main
 
 import (
@@ -61,6 +63,7 @@ var (
 	jsonE18              = flag.String("json-e18", "", "write e18 results as JSON to this file")
 	jsonE20              = flag.String("json-e20", "", "write e20 results as JSON to this file")
 	jsonE21              = flag.String("json-e21", "", "write e21 results as JSON to this file")
+	jsonE22              = flag.String("json-e22", "", "write e22 results as JSON to this file")
 	checkRecoveryScaling = flag.Bool("check-recovery-scaling", false,
 		"e17: exit non-zero unless ns/replayed-commit at the largest journal is < 3x the smallest (regression gate)")
 	checkIndexScaling = flag.Bool("check-index-scaling", false,
@@ -97,11 +100,20 @@ func main() {
 		{"e18", "Streaming replication: read fan-out and the semi-sync write price", runE18},
 		{"e20", "Attribute-value indexes: SEARCH latency vs instance size", runE20},
 		{"e21", "Epoch-fenced failover: time-to-writable, acked-write loss, fencing", runE21},
+		{"e22", "Subtree sharding: aggregate write throughput vs shard count", runE22},
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: bsbench [-quick] all | e1 ... e14 | e16 | e17 | e18 | e20 | e21")
+		fmt.Fprintln(os.Stderr, "usage: bsbench [-quick] all | e1 ... e14 | e16 | e17 | e18 | e20 | e21 | e22 | trend [dir]")
 		os.Exit(2)
+	}
+	if args[0] == "trend" {
+		dir := "."
+		if len(args) > 1 {
+			dir = args[1]
+		}
+		runTrend(dir)
+		return
 	}
 	want := make(map[string]bool)
 	for _, a := range args {

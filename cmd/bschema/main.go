@@ -13,6 +13,7 @@
 //	bschema lint       -schema S.bs
 //	bschema format     -schema S.bs
 //	bschema materialize -schema S.bs
+//	bschema carve      -schema S.bs -instance D.ldif [-shards N] [-o dir]
 //
 // Schemas use the schema definition language (see ParseSchema); instances
 // use LDIF content records; changes use LDIF change records (changetype
@@ -23,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"boundschema"
@@ -31,6 +33,7 @@ import (
 	"boundschema/internal/hquery"
 	"boundschema/internal/ldif"
 	"boundschema/internal/semistruct"
+	"boundschema/internal/shard"
 	"boundschema/internal/txn"
 )
 
@@ -59,6 +62,8 @@ func main() {
 		err = cmdFormat(os.Args[2:])
 	case "materialize":
 		err = cmdMaterialize(os.Args[2:])
+	case "carve":
+		err = cmdCarve(os.Args[2:])
 	case "sscheck":
 		err = cmdSSCheck(os.Args[2:])
 	case "help", "-h", "--help":
@@ -88,6 +93,8 @@ commands:
   elements     list a schema's elements, guarantees and derived facts
   format       canonicalize a schema definition
   materialize  emit a legal witness instance for a consistent schema
+  carve        split a legal instance into per-shard instances plus a
+               shard map for bsrouter (Theorem 4.1 subtree sharding)
   sscheck      check semi-structured data (outline files) against label
                constraints (Section 6.3)`)
 }
@@ -437,6 +444,85 @@ type multiFlag []string
 func (m *multiFlag) String() string { return strings.Join(*m, "; ") }
 func (m *multiFlag) Set(v string) error {
 	*m = append(*m, v)
+	return nil
+}
+
+// cmdCarve splits a legal instance by subtree into n shard instances
+// plus the default-shard remainder, writing one LDIF per shard and a
+// shards.conf bsrouter can load. Roots are chosen by shard.AutoCut:
+// depth-1 subtrees, largest first, each validated to stay legal when
+// carved out with its spine ghosts, dealt to the smallest shard.
+func cmdCarve(args []string) error {
+	fs := flag.NewFlagSet("carve", flag.ExitOnError)
+	schemaPath := fs.String("schema", "", "schema definition file")
+	instPath := fs.String("instance", "", "LDIF instance file")
+	n := fs.Int("shards", 2, "number of carved shards (a default shard is always added)")
+	portBase := fs.Int("port-base", 4001, "first shard port; shard i serves 127.0.0.1:<port-base+i>, the default shard the last port")
+	outDir := fs.String("o", "shards", "output directory for per-shard LDIF files and shards.conf")
+	fs.Parse(args)
+	if *schemaPath == "" || *instPath == "" {
+		return fmt.Errorf("carve: -schema and -instance are required")
+	}
+	s, _, err := loadSchema(*schemaPath)
+	if err != nil {
+		return err
+	}
+	d, err := loadInstance(*instPath, s.Registry)
+	if err != nil {
+		return err
+	}
+	if report := boundschema.NewChecker(s).Check(d); !report.Legal() {
+		return fmt.Errorf("carve: instance is illegal; fix it first:\n%s", report)
+	}
+	roots, err := shard.AutoCut(s, d, *n)
+	if err != nil {
+		return err
+	}
+	var shards []*shard.Shard
+	port := *portBase
+	for i, rs := range roots {
+		if len(rs) == 0 {
+			fmt.Fprintf(os.Stderr, "carve: shard s%d gets no subtree (instance has too few cuttable depth-1 subtrees)\n", i)
+			continue
+		}
+		shards = append(shards, &shard.Shard{Name: fmt.Sprintf("s%d", i), Addr: fmt.Sprintf("127.0.0.1:%d", port), Roots: rs})
+		port++
+	}
+	def := &shard.Shard{Name: "rest", Addr: fmt.Sprintf("127.0.0.1:%d", port)}
+	m, err := shard.NewMap(shards, def)
+	if err != nil {
+		return err
+	}
+	dirs, err := shard.Carve(d, m)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	for _, sh := range m.All() {
+		path := filepath.Join(*outDir, sh.Name+".ldif")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := boundschema.WriteLDIF(f, dirs[sh.Name]); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("shard %-6s %4d entries  %s\n", sh.Name, dirs[sh.Name].Len(), path)
+	}
+	confPath := filepath.Join(*outDir, "shards.conf")
+	conf := strings.Join(m.Render(), "\n") + "\n"
+	if err := os.WriteFile(confPath, []byte(conf), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("shard map written to %s; start each shard with\n", confPath)
+	fmt.Printf("  bsd -schema %s -instance %s/<name>.ldif -addr <addr from the map>\n", *schemaPath, *outDir)
+	fmt.Printf("and the router with\n  bsrouter -map %s\n", confPath)
 	return nil
 }
 

@@ -11,9 +11,10 @@
 //
 //	bsload                           # embedded: every scenario × preset, single node
 //	bsload -replicas 2               # embedded 1-primary/2-replica cluster
+//	bsload -shards 2                 # embedded carved shards behind a router
 //	bsload -scenario netpolicy -mix olap -workers 16 -entries 100000
 //	bsload -addr 127.0.0.1:3890 -scenario whitepages -mix oltp
-//	bsload -chaos all                # failover, disk faults, connection storms
+//	bsload -chaos all                # failover, disk faults, conn storms, shard crash
 //	bsload -json BENCH_load.json     # write all results as JSON
 //
 // Mixes: oltp (c10/r90), olap (c90/r10), reporting (c5/r10/u3/d2/q80
@@ -52,11 +53,12 @@ var (
 	duration     = flag.Duration("duration", 0, "wall-clock bound instead of an op budget")
 	entries      = flag.Int("entries", 10000, "embedded corpus size (10k-1M)")
 	replicas     = flag.Int("replicas", 0, "embedded replicas behind the primary (reads fan out to them)")
+	shards       = flag.Int("shards", 0, "embedded subtree shards carved from the corpus, fronted by a router (plus a default shard)")
 	modeName     = flag.String("mode", "async", "embedded replication mode: async or semisync")
 	seed         = flag.Int64("seed", 1, "deterministic corpus and mix seed")
 	addr         = flag.String("addr", "", "drive an external server at this client address instead of an embedded one")
 	readAddrs    = flag.String("read-addrs", "", "comma-separated replica client addresses for reads (external mode)")
-	chaos        = flag.String("chaos", "none", "failover, fault-crash, fault-torn-write, fault-sync-error, connstorm, all, or none")
+	chaos        = flag.String("chaos", "none", "failover, fault-crash, fault-torn-write, fault-sync-error, connstorm, shardcrash, all, or none")
 	jsonOut      = flag.String("json", "", "write results as JSON to this file")
 	bench        = flag.Bool("bench", false, "run the canonical committed suite (BENCH_load.json): every scenario × oltp/olap/reporting on a single node, whitepages oltp on a semi-sync 1p+2r cluster, and the full chaos battery")
 )
@@ -112,6 +114,8 @@ func main() {
 		runChaos(out)
 	case *addr != "":
 		runExternal(out)
+	case *shards > 0:
+		runSharded(out)
 	default:
 		runEmbedded(out)
 	}
@@ -258,6 +262,42 @@ func runEmbedded(out *output) {
 	}
 }
 
+// runSharded carves each scenario's corpus into -shards subtree shards
+// plus a default, boots a journaled server per shard behind a router,
+// and drives the selected mixes at the router as if it were one node.
+// Every run ends with the sharded oracle: per-shard VERIFY, the
+// router's cross-shard CHECK, and the reconstructed global instance
+// proved legal with the entry accounting closed.
+func runSharded(out *output) {
+	for _, sc := range scenarios() {
+		cl, err := loadgen.StartShardCluster(sc, *entries, *shards, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		cluster := fmt.Sprintf("router+%dsh", len(cl.Shards))
+		for i, mix := range mixes() {
+			res, err := loadgen.Run(loadgen.Options{
+				Scenario: sc, Pools: cl.Pools, Mix: mix,
+				Workers: *workers, OpsPerWorker: *ops, Duration: *duration,
+				Seed: *seed, FirstWorker: i * 100,
+				CorpusEntries: cl.CorpusEntries, Cluster: cluster,
+			}, loadgen.NewTarget(cl.Addr))
+			if err != nil {
+				cl.Close()
+				fatal(err)
+			}
+			report(res)
+			out.Runs = append(out.Runs, res)
+		}
+		if err := cl.Oracle(); err != nil {
+			cl.Close()
+			fatal(err)
+		}
+		fmt.Printf("  oracle: %d shard(s) VERIFY ok, router CHECK ok, merged instance legal\n", len(cl.Shards))
+		cl.Close()
+	}
+}
+
 // runExternal drives a live bsd; the DN pools are re-derived from a
 // deterministic twin of the corpus the server was seeded with.
 func runExternal(out *output) {
@@ -321,6 +361,13 @@ func runChaos(out *output) {
 		run("fault-torn-write", func() (*loadgen.ChaosReport, error) { return loadgen.FaultUnderLoad(cfg, vfs.FaultTornWrite) })
 		run("fault-sync-error", func() (*loadgen.ChaosReport, error) { return loadgen.FaultUnderLoad(cfg, vfs.FaultSyncErr) })
 		run("connstorm", func() (*loadgen.ChaosReport, error) { return loadgen.ConnStorm(cfg) })
+		run("shardcrash", func() (*loadgen.ChaosReport, error) {
+			n := *shards
+			if n == 0 {
+				n = 2
+			}
+			return loadgen.ShardCrash(cfg, n)
+		})
 	}
 }
 

@@ -1,0 +1,75 @@
+// Bsrouter fronts a set of bsd shard processes with one client-protocol
+// endpoint: it loads a static shard map (subtree root → shard address),
+// routes every DN-prefixed command to the owning shard over pooled
+// connections, and fans reads out with merged, deterministically
+// ordered results. Cross-shard legality follows the paper's Theorem 4.1
+// decomposition: content, key and almost all structural checks stay
+// shard-local (the shards were carved with spine ghosts — see
+// `bschema carve` and DESIGN.md), and the router's coordinator audits
+// the spanning relationships over the cut via per-shard boundary
+// counts (the COUNT command). Transactions confined to one shard are
+// replayed there atomically; a transaction, MOVE or DELETE that would
+// span shards is refused with a single parseable ERR line.
+//
+// Usage:
+//
+//	bsrouter -map shards.conf [-addr 127.0.0.1:3890]
+//
+// Map config, one directive per line ('#' comments):
+//
+//	shard <name> <addr> <root-dn>[;<root-dn>...]
+//	default <name> <addr>
+//
+// The default shard owns every DN outside the carved roots, including
+// the real spine entries. Commands added or changed at the router:
+//
+//	SHARDMAP          the map, in the config format
+//	STAT              aggregated across shards, ghost-corrected
+//	COUNT <class> [child] [base=<dn>]   fanned out, ghost-corrected
+//	CHECK             per-shard checks plus the cross-shard audit
+//	VERIFY, SNAPSHOT  fanned out to every shard
+//	QUERY, PROMOTE    refused (connect to a shard directly)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"boundschema/internal/shard"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:3890", "client protocol listen address")
+		mapPath = flag.String("map", "", "shard map config file (required)")
+	)
+	flag.Parse()
+	if *mapPath == "" {
+		fmt.Fprintln(os.Stderr, "bsrouter: -map is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	m, err := shard.LoadMap(*mapPath)
+	if err != nil {
+		log.Fatalf("bsrouter: %v", err)
+	}
+	rt := shard.NewRouter(m)
+	rt.SetErrorLog(log.New(os.Stderr, "bsrouter: ", log.LstdFlags))
+	bound, err := rt.Listen(*addr)
+	if err != nil {
+		log.Fatalf("bsrouter: listen: %v", err)
+	}
+	log.Printf("bsrouter: serving on %s", bound)
+	for _, l := range m.Render() {
+		log.Printf("bsrouter: %s", l)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("bsrouter: shutting down")
+	rt.Close()
+}

@@ -273,6 +273,69 @@ func ConnStorm(cfg ChaosConfig) (*ChaosReport, error) {
 	}, nil
 }
 
+// ShardCrash runs churn through a router over nShards carved shards
+// plus a default shard, kills one carved shard mid-run, restarts it
+// (journal recovery on the original address), and finishes the run.
+// While the shard is down, transactions it owns come back as
+// shard_down errors and everything else keeps flowing; cross-shard
+// moves are refused with cross_shard labels throughout. The run ends
+// with the sharded oracle: per-shard VERIFY, the router's cross-shard
+// CHECK, and the reconstructed global instance legal under the full
+// engine.
+func ShardCrash(cfg ChaosConfig, nShards int) (*ChaosReport, error) {
+	cl, err := StartShardCluster(cfg.Scenario, cfg.CorpusN, nShards, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	target := NewTarget(cl.Addr)
+	opts := Options{
+		Scenario: cfg.Scenario, Pools: cl.Pools, Mix: Churn(),
+		Workers: cfg.Workers, Duration: cfg.Duration, Seed: cfg.Seed,
+		CorpusEntries: cl.CorpusEntries,
+		Cluster:       fmt.Sprintf("router+%dshards shardcrash", len(cl.Shards)),
+	}
+	type runOut struct {
+		res *Result
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		res, err := Run(opts, target)
+		done <- runOut{res, err}
+	}()
+
+	victim := cl.Shards[0].Name
+	time.Sleep(cfg.Duration * 2 / 5)
+	cl.CrashShard(victim)
+	time.Sleep(cfg.Duration / 5)
+	if err := cl.RestartShard(victim); err != nil {
+		<-done
+		return nil, fmt.Errorf("shardcrash: restart %s: %v", victim, err)
+	}
+
+	out := <-done
+	if out.err != nil {
+		return nil, out.err
+	}
+	if out.res.Committed == 0 {
+		return nil, fmt.Errorf("shardcrash: no transaction ever committed")
+	}
+	if err := cl.Oracle(); err != nil {
+		return nil, fmt.Errorf("shardcrash: %v", err)
+	}
+	return &ChaosReport{
+		Name: "shardcrash",
+		Load: out.res,
+		Notes: []string{
+			fmt.Sprintf("shard %s killed and recovered mid-run; %d commits through the router", victim, out.res.Committed),
+			fmt.Sprintf("errors: shard_down=%d cross_shard=%d wrong_shard=%d conn=%d",
+				out.res.Errors[ErrShardDown], out.res.Errors[ErrCrossShard],
+				out.res.Errors[ErrWrongShard], out.res.Errors[ErrConn]),
+		},
+	}, nil
+}
+
 // legalInstance re-parses one node's served instance and checks it with
 // the full engine — the weaker oracle for nodes that legitimately lag
 // (an orphaned replica whose primary died).

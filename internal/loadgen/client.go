@@ -110,6 +110,9 @@ const (
 	ErrConn         = "conn"          // transport error (dial, reset, EOF)
 	ErrIllegal      = "illegal"       // transaction rejected by the legality engine
 	ErrNotFound     = "not_found"     // target entry absent — expected after an async failover loses the unreplicated tail
+	ErrWrongShard   = "wrong_shard"   // router: no shard owns the DN (map without a default shard)
+	ErrCrossShard   = "cross_shard"   // router refused a transaction/move/delete spanning shards
+	ErrShardDown    = "shard_down"    // router could not reach the owning shard
 	ErrOther        = "err_other"     // any ERR not classified above
 )
 
@@ -147,6 +150,12 @@ func classify(resp Resp, err error) string {
 		return ErrShutdown
 	case strings.Contains(msg, "no entry"), strings.Contains(msg, "missing entry"):
 		return ErrNotFound
+	case strings.Contains(msg, "unroutable dn"):
+		return ErrWrongShard
+	case strings.Contains(msg, "cross-shard"):
+		return ErrCrossShard
+	case strings.Contains(msg, "unavailable"):
+		return ErrShardDown
 	default:
 		return ErrOther
 	}

@@ -1,0 +1,62 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShardClusterLoad runs plain churn through the router over a
+// carved cluster and ends with the sharded oracle — the router is a
+// drop-in load target: same protocol, same client, same taxonomy.
+func TestShardClusterLoad(t *testing.T) {
+	sc, _ := ScenarioByName("whitepages")
+	cl, err := StartShardCluster(sc, 300, 2, 7)
+	if err != nil {
+		t.Fatalf("StartShardCluster: %v", err)
+	}
+	defer cl.Close()
+	if len(cl.Shards) < 3 {
+		t.Fatalf("want at least 2 carved shards + default, got %d nodes", len(cl.Shards))
+	}
+	res, err := Run(Options{
+		Scenario: sc, Pools: cl.Pools, Mix: Churn(),
+		Workers: 4, Duration: 1200 * time.Millisecond, Seed: 7,
+		CorpusEntries: cl.CorpusEntries, Cluster: "router+shards",
+	}, NewTarget(cl.Addr))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("no transaction committed through the router")
+	}
+	// Churn moves entries between corpus parents; some straddle the cut
+	// and must come back as cross_shard refusals, never as half-applied
+	// state (the oracle below would catch that).
+	for label, n := range res.Errors {
+		switch label {
+		case ErrCrossShard, ErrIllegal, ErrNotFound:
+			// expected under churn against a carved map
+		default:
+			t.Errorf("unexpected error class %s=%d", label, n)
+		}
+	}
+	if err := cl.Oracle(); err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+}
+
+// TestChaosShardCrash kills a carved shard mid-load and requires
+// recovery plus the full sharded oracle.
+func TestChaosShardCrash(t *testing.T) {
+	cfg := chaosConfig(t, "netpolicy")
+	rep, err := ShardCrash(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range rep.Notes {
+		t.Log(n)
+	}
+	if rep.Load.Errors[ErrWrongShard] > 0 {
+		t.Errorf("wrong_shard errors on a map with a default shard: %d", rep.Load.Errors[ErrWrongShard])
+	}
+}

@@ -1,0 +1,29 @@
+package repl
+
+import (
+	"math/rand"
+	"time"
+)
+
+// JitterBackoff spreads a reconnect delay with equal jitter: half of d
+// fixed plus a uniform random half. Peers that all lost the same
+// endpoint at the same instant otherwise reconnect in lockstep and
+// hammer it with synchronized dial storms on every backoff step. Used
+// by the replica streaming loop and the shard router's connection
+// pools, which share the same redial problem.
+func JitterBackoff(d time.Duration) time.Duration {
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// NextBackoff doubles a backoff delay up to cap.
+func NextBackoff(d, cap time.Duration) time.Duration {
+	d *= 2
+	if d > cap {
+		return cap
+	}
+	return d
+}

@@ -18,19 +18,19 @@ func TestJitterBackoff(t *testing.T) {
 	const d = 400 * time.Millisecond
 	seen := make(map[time.Duration]bool)
 	for i := 0; i < 200; i++ {
-		j := jitterBackoff(d)
+		j := repl.JitterBackoff(d)
 		if j < d/2 || j > d {
-			t.Fatalf("jitterBackoff(%v) = %v, outside [%v, %v]", d, j, d/2, d)
+			t.Fatalf("JitterBackoff(%v) = %v, outside [%v, %v]", d, j, d/2, d)
 		}
 		seen[j] = true
 	}
 	if len(seen) < 10 {
 		t.Errorf("200 samples landed on only %d distinct delays; no spread", len(seen))
 	}
-	if j := jitterBackoff(0); j != 0 {
+	if j := repl.JitterBackoff(0); j != 0 {
 		t.Errorf("jitterBackoff(0) = %v, want 0", j)
 	}
-	if j := jitterBackoff(1); j != 1 {
+	if j := repl.JitterBackoff(1); j != 1 {
 		t.Errorf("jitterBackoff(1) = %v, want the degenerate input back", j)
 	}
 }

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"strings"
 	"time"
@@ -515,12 +514,12 @@ func (s *Server) replicaLoop(addr string) {
 		}
 		conn, err := dial(addr, 2*time.Second)
 		if err != nil {
-			d := jitterBackoff(backoff)
+			d := repl.JitterBackoff(backoff)
 			s.logf("repl: dial %s: %v; retrying in %v", addr, err, d)
 			if !s.replicaSleep(d) {
 				return
 			}
-			backoff = minDuration(backoff*2, 3*time.Second)
+			backoff = repl.NextBackoff(backoff, 3*time.Second)
 			continue
 		}
 		s.setReplConn(conn)
@@ -547,26 +546,13 @@ func (s *Server) replicaLoop(addr string) {
 		if errors.Is(err, repl.ErrStalePrimary) {
 			s.metrics.EpochRejects.Add(1)
 		}
-		d := jitterBackoff(backoff)
+		d := repl.JitterBackoff(backoff)
 		s.logf("repl: stream from %s ended: %v; reconnecting in %v", addr, err, d)
 		if !s.replicaSleep(d) {
 			return
 		}
-		backoff = minDuration(backoff*2, 3*time.Second)
+		backoff = repl.NextBackoff(backoff, 3*time.Second)
 	}
-}
-
-// jitterBackoff spreads a reconnect delay with equal jitter: half of d
-// fixed plus a uniform random half. Replicas that all lost the same
-// primary at the same instant otherwise reconnect in lockstep and
-// hammer the new primary with synchronized HELLO/catch-up storms on
-// every backoff step.
-func jitterBackoff(d time.Duration) time.Duration {
-	half := d / 2
-	if half <= 0 {
-		return d
-	}
-	return half + time.Duration(rand.Int63n(int64(half)+1))
 }
 
 // replicaSleep waits d, returning false if the loop should exit instead.
@@ -581,13 +567,6 @@ func (s *Server) replicaSleep(d time.Duration) bool {
 	case <-s.promoteCh:
 		return false
 	}
-}
-
-func minDuration(a, b time.Duration) time.Duration {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // replicaTarget adapts the Server to the repl.Target the streaming

@@ -180,11 +180,18 @@ type Server struct {
 	// read-only (see fence in repl.go).
 	epoch atomic.Uint64
 
+	// shardName/shardRoots label this node as one shard of a routed
+	// deployment (cmd/bsrouter): STAT and METRICS report them so an
+	// operator inspecting a node can tell which subtrees it owns. Purely
+	// informational — the server enforces nothing about the roots.
+	shardName  string
+	shardRoots []string
+
 	// dialer replaces net.DialTimeout for the replica's connection to
 	// the primary; replListenWrap wraps the replication listener. Both
 	// exist so tests can thread internal/netfault through the transport.
 	// Set before StartReplica / ListenRepl; nil means the real network.
-	dialer        func(addr string, timeout time.Duration) (net.Conn, error)
+	dialer         func(addr string, timeout time.Duration) (net.Conn, error)
 	replListenWrap func(net.Listener) net.Listener
 }
 
@@ -251,6 +258,14 @@ func (s *Server) reindex(d *dirtree.Directory) {
 	if len(s.schema.Keys()) > 0 {
 		s.applier.Keys = core.NewKeyIndex(s.schema, d)
 	}
+}
+
+// SetShardInfo labels this node as the named shard of a routed
+// deployment owning the given subtree roots. STAT gains "shard:" and
+// "shard root:" lines and METRICS a shard line. Call before Listen.
+func (s *Server) SetShardInfo(name string, roots []string) {
+	s.shardName = name
+	s.shardRoots = append([]string(nil), roots...)
 }
 
 // SetConcurrency selects the legality checker's worker count for CHECK
@@ -647,6 +662,8 @@ func (se *session) handle(line string) bool {
 		se.ok()
 	case "STAT":
 		se.stat()
+	case "COUNT":
+		se.count(rest)
 	case "METRICS":
 		se.metricsCmd()
 	case "SNAPSHOT":
@@ -876,24 +893,30 @@ func (s *Server) CommitTx(tx *txn.Transaction) (*core.Report, error) {
 
 const searchUsage = "(usage: SEARCH <filter> [base=<dn>] [limit=N])"
 
-func (se *session) search(rest string) {
+// SearchArgs is the parsed tail of a SEARCH command line. Exported so
+// the shard router (internal/shard) parses routing targets — the base
+// DN decides the owning shard — with exactly the server's grammar.
+type SearchArgs struct {
+	Filter  string // balanced-parenthesis filter text, unparsed
+	Base    string // base DN; meaningful only when HasBase
+	HasBase bool
+	Limit   int // -1 = unlimited
+}
+
+// ParseSearchArgs splits "(filter) [base=<dn>] [limit=N]". The base DN
+// is everything after "base=" — DNs contain spaces (ou=Human
+// Resources,o=acme), so the tail must not be re-tokenized. The optional
+// limit is the final space-separated token, peeled off before the base
+// is read. Anything else trailing the filter is an error, not silently
+// ignored.
+func ParseSearchArgs(rest string) (SearchArgs, error) {
+	a := SearchArgs{Limit: -1}
 	ftext, tail, err := cutBalanced(strings.TrimSpace(rest))
 	if err != nil {
-		se.err(err.Error())
-		return
+		return a, err
 	}
-	f, err := filter.Parse(ftext)
-	if err != nil {
-		se.err(err.Error())
-		return
-	}
-	// The base DN is everything after "base=" — DNs contain spaces
-	// (ou=Human Resources,o=acme), so the tail must not be re-tokenized.
-	// The optional limit is the final space-separated token, peeled off
-	// before the base is read. Anything else trailing the filter is an
-	// error, not silently ignored.
+	a.Filter = ftext
 	tail = strings.TrimSpace(tail)
-	limit := -1
 	last := tail
 	if i := strings.LastIndexByte(tail, ' '); i >= 0 {
 		last = tail[i+1:]
@@ -901,24 +924,37 @@ func (se *session) search(rest string) {
 	if digits, isLimit := strings.CutPrefix(last, "limit="); isLimit {
 		n, lerr := strconv.Atoi(digits)
 		if lerr != nil || n < 0 || strings.TrimLeft(digits, "0123456789") != "" {
-			se.err(fmt.Sprintf("malformed %q %s", last, searchUsage))
-			return
+			return a, fmt.Errorf("malformed %q %s", last, searchUsage)
 		}
-		limit = n
+		a.Limit = n
 		tail = strings.TrimSpace(tail[:len(tail)-len(last)])
 	}
-	baseDN, hasBase := strings.CutPrefix(tail, "base=")
-	if tail != "" && !hasBase {
-		se.err(fmt.Sprintf("unexpected %q after filter %s", tail, searchUsage))
+	a.Base, a.HasBase = strings.CutPrefix(tail, "base=")
+	if tail != "" && !a.HasBase {
+		return a, fmt.Errorf("unexpected %q after filter %s", tail, searchUsage)
+	}
+	return a, nil
+}
+
+func (se *session) search(rest string) {
+	args, err := ParseSearchArgs(rest)
+	if err != nil {
+		se.err(err.Error())
 		return
 	}
+	f, err := filter.Parse(args.Filter)
+	if err != nil {
+		se.err(err.Error())
+		return
+	}
+	limit := args.Limit
 	se.srv.mu.RLock()
 	defer se.srv.mu.RUnlock()
 	view := se.srv.dir.All()
-	if hasBase {
-		e := se.srv.dir.ByDN(baseDN)
+	if args.HasBase {
+		e := se.srv.dir.ByDN(args.Base)
 		if e == nil {
-			se.err(fmt.Sprintf("base %q not found", baseDN))
+			se.err(fmt.Sprintf("base %q not found", args.Base))
 			return
 		}
 		view = se.srv.dir.SubtreeView(e)
@@ -999,6 +1035,12 @@ func (se *session) stat() {
 	defer se.srv.mu.RUnlock()
 	se.reply("role: " + role)
 	se.reply(fmt.Sprintf("epoch: %d", se.srv.epoch.Load()))
+	if se.srv.shardName != "" {
+		se.reply("shard: " + se.srv.shardName)
+		for _, r := range se.srv.shardRoots {
+			se.reply("shard root: " + r)
+		}
+	}
 	se.reply(fmt.Sprintf("entries: %d", se.srv.dir.Len()))
 	names := se.srv.dir.ClassNames()
 	sort.Strings(names)
@@ -1015,6 +1057,9 @@ func (se *session) metricsCmd() {
 	journalOn := s.journal != nil
 	readOnly := s.readOnly
 	s.mu.RUnlock()
+	if s.shardName != "" {
+		se.reply(fmt.Sprintf("shard: name=%s roots=%d", s.shardName, len(s.shardRoots)))
+	}
 	se.reply(s.metrics.lines(journalOn, readOnly, rs)...)
 	se.ok()
 }

@@ -1,0 +1,150 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"boundschema/internal/core"
+	"boundschema/internal/dirtree"
+	"boundschema/internal/workload"
+)
+
+// buildCutMap runs AutoCut over a corpus and wraps the chosen roots in
+// a validated map with a default shard, mirroring what the embedded
+// test clusters and `bschema carve` do.
+func buildCutMap(t *testing.T, schema *core.Schema, src *dirtree.Directory, n int) *Map {
+	t.Helper()
+	roots, err := AutoCut(schema, src, n)
+	if err != nil {
+		t.Fatalf("AutoCut: %v", err)
+	}
+	var shards []*Shard
+	for i, rs := range roots {
+		if len(rs) > 0 {
+			shards = append(shards, &Shard{Name: "s" + string(rune('0'+i)), Addr: "test", Roots: rs})
+		}
+	}
+	if len(shards) == 0 {
+		t.Fatal("AutoCut carved nothing")
+	}
+	return mustMap(t, shards, &Shard{Name: "rest", Addr: "test"})
+}
+
+// TestCarveLegalAndAccounted carves both reference workloads and checks
+// the two invariants everything else rests on: every shard instance is
+// legal on its own (server.New would refuse it otherwise), and entry
+// counts add up once ghost multiplicity is subtracted.
+func TestCarveLegalAndAccounted(t *testing.T) {
+	scenarios := []struct {
+		name   string
+		schema *core.Schema
+		corpus func(*core.Schema) *dirtree.Directory
+	}{
+		{"whitepages", workload.WhitePagesSchema(), func(s *core.Schema) *dirtree.Directory {
+			return workload.Corpus(s, rand.New(rand.NewSource(7)), 300)
+		}},
+		{"netpolicy", workload.NetPolicySchema(), func(s *core.Schema) *dirtree.Directory {
+			return workload.NetPolicyCorpus(s, rand.New(rand.NewSource(7)), 300)
+		}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			src := sc.corpus(sc.schema)
+			if !core.NewChecker(sc.schema).Check(src).Legal() {
+				t.Fatal("corpus is not legal before carving")
+			}
+			m := buildCutMap(t, sc.schema, src, 3)
+			dirs, err := Carve(src, m)
+			if err != nil {
+				t.Fatalf("Carve: %v", err)
+			}
+			checker := core.NewChecker(sc.schema)
+			total := 0
+			for name, d := range dirs {
+				if rep := checker.Check(d); !rep.Legal() {
+					t.Errorf("shard %s instance illegal: %v", name, rep.Violations)
+				}
+				total += d.Len()
+			}
+			ghosts := 0
+			for _, s := range m.Spine() {
+				ghosts += len(m.Holders(s)) - 1
+			}
+			if total-ghosts != src.Len() {
+				t.Fatalf("entry accounting: sum %d - ghosts %d != source %d", total, ghosts, src.Len())
+			}
+			// Every source entry is owned by exactly one shard, and that
+			// shard's instance holds it.
+			for _, dn := range allDNs(src) {
+				sh := m.Owner(dn)
+				if sh == nil {
+					t.Fatalf("source entry %q unowned", dn)
+				}
+				if dirs[sh.Name].ByDN(dn) == nil {
+					t.Fatalf("owner %s does not hold %q", sh.Name, dn)
+				}
+			}
+		})
+	}
+}
+
+func allDNs(d *dirtree.Directory) []string {
+	var out []string
+	var walk func(e *dirtree.Entry)
+	walk = func(e *dirtree.Entry) {
+		out = append(out, e.DN())
+		for _, c := range e.Children() {
+			walk(c)
+		}
+	}
+	for _, r := range d.Roots() {
+		walk(r)
+	}
+	return out
+}
+
+// TestCarveRejectsUnknownRoot pins the error for a map naming a root
+// the instance does not have.
+func TestCarveRejectsUnknownRoot(t *testing.T) {
+	schema := workload.WhitePagesSchema()
+	src := workload.Corpus(schema, rand.New(rand.NewSource(1)), 60)
+	m := mustMap(t, []*Shard{{Name: "s0", Addr: "x", Roots: []string{"ou=nosuch,o=org0"}}}, nil)
+	if _, err := Carve(src, m); err == nil {
+		t.Fatal("carving an absent root must fail")
+	}
+}
+
+// TestAutoCutBalances checks the cut's shape properties: disjoint
+// roots, no spine DN carved, and no shard left pathologically empty
+// while another holds everything (the deal-to-smallest rule).
+func TestAutoCutBalances(t *testing.T) {
+	schema := workload.WhitePagesSchema()
+	src := workload.Corpus(schema, rand.New(rand.NewSource(11)), 400)
+	roots, err := AutoCut(schema, src, 2)
+	if err != nil {
+		t.Fatalf("AutoCut: %v", err)
+	}
+	if len(roots) != 2 {
+		t.Fatalf("want 2 root sets, got %d", len(roots))
+	}
+	seen := map[string]bool{}
+	for _, rs := range roots {
+		for _, r := range rs {
+			if seen[r] {
+				t.Fatalf("root %q dealt twice", r)
+			}
+			seen[r] = true
+			if src.ByDN(r) == nil {
+				t.Fatalf("root %q not in source", r)
+			}
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no subtrees carved at all")
+	}
+	// Both sets should get something on a 400-entry corpus with many
+	// depth-1 units.
+	if len(roots[0]) == 0 || len(roots[1]) == 0 {
+		t.Fatalf("unbalanced deal: %v", roots)
+	}
+}

@@ -1,0 +1,210 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+)
+
+// The router obeys the same ERR grammar the shard server pins in its
+// own errgrammar tests: every refusal is exactly one "ERR <message>"
+// line — no payload lines, no embedded newlines, non-empty message —
+// and the session stays usable afterwards. The load harness's framing
+// and its error taxonomy (wrong_shard, cross_shard, shard_down) parse
+// these messages, so the wording is contract, not decoration.
+
+// expectRouterErr reads one reply and asserts the grammar.
+func expectRouterErr(t *testing.T, c *shardConn, wantSub string) string {
+	t.Helper()
+	r, err := c.read()
+	if err != nil {
+		t.Fatalf("read ERR reply: %v", err)
+	}
+	if r.term != "ERR" {
+		t.Fatalf("want ERR, got %s %v", r.term, r.lines)
+	}
+	if len(r.lines) != 0 {
+		t.Errorf("ERR reply carried %d payload lines: %v", len(r.lines), r.lines)
+	}
+	if r.err == "" {
+		t.Error("ERR with an empty message")
+	}
+	if strings.ContainsAny(r.err, "\n\r") {
+		t.Errorf("ERR message holds a raw newline: %q", r.err)
+	}
+	if wantSub != "" && !strings.Contains(r.err, wantSub) {
+		t.Errorf("ERR message %q does not mention %q", r.err, wantSub)
+	}
+	return r.err
+}
+
+// assertUsable proves the session survived the error: SHARDMAP always
+// answers from the router's own state.
+func assertUsable(t *testing.T, c *shardConn) {
+	t.Helper()
+	r, err := c.do("SHARDMAP")
+	if err != nil || !r.ok() {
+		t.Fatalf("session unusable after error: %v / %s %s", err, r.term, r.err)
+	}
+}
+
+func TestRouterErrGrammar(t *testing.T) {
+	c := startSharded(t, diffScenarios[0], 220, 2, 17)
+	carved0 := c.m.Shards[0]
+	carved1 := c.m.Shards[1]
+	spine := c.m.Spine()[0]
+
+	inCarved := func(sh *Shard) string { return "uid=g," + sh.Roots[0] }
+
+	cases := []struct {
+		name string
+		send []string // each line sent; exactly one ERR reply expected in total
+		want string
+	}{
+		{"unknown command", []string{"FROB o=org0"}, "unknown command"},
+		{"query not routable", []string{"QUERY person"}, "not routable"},
+		{"promote not routable", []string{"PROMOTE 3"}, "not routable"},
+		{"bad search filter", []string{"SEARCH (bad"}, ""},
+		{"bad count grammar", []string{"COUNT person bogus"}, "unexpected"},
+		{"count missing class", []string{"COUNT"}, "needs a class"},
+		{"add missing dn", []string{"BEGIN", "ADD"}, "ADD needs a DN"},
+		{"attr line outside add", []string{"BEGIN", "name: stray"}, "unexpected"},
+		{"malformed attr line", []string{"BEGIN", "ADD " + inCarved(carved0), "no colon here"}, "malformed attribute line"},
+		{"malformed move", []string{"BEGIN", "MOVE uid=x,o=org0 to o=org0"}, "MOVE needs"},
+		{"spine delete", []string{"BEGIN", "DELETE " + spine}, "cross-shard delete"},
+		{"spine move", []string{"BEGIN", "MOVE " + spine + " -> o=org0"}, "cross-shard move"},
+		{"shard root move", []string{"BEGIN", "MOVE " + carved0.Roots[0] + " -> " + carved1.Roots[0]}, "re-carve"},
+		{"cross-shard move", []string{"BEGIN", "MOVE " + inCarved(carved0) + " -> " + carved1.Roots[0]}, "cross-shard move"},
+		{"cross-shard transaction", []string{"BEGIN", "ADD " + inCarved(carved0), "ADD " + inCarved(carved1)}, "cross-shard transaction"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conn := dialTest(t, c.rtAddr)
+			for i, line := range tc.send {
+				if err := conn.send(line); err != nil {
+					t.Fatalf("send %q: %v", line, err)
+				}
+				if line == "BEGIN" && i == 0 {
+					if r, err := conn.read(); err != nil || !r.ok() {
+						t.Fatalf("BEGIN: %v / %s", err, r.term)
+					}
+				}
+			}
+			expectRouterErr(t, conn, tc.want)
+			assertUsable(t, conn)
+			// An erring transaction is dropped: COMMIT outside one is an
+			// unknown command, exactly as on a shard.
+			if tc.send[0] == "BEGIN" {
+				if err := conn.send("COMMIT"); err != nil {
+					t.Fatal(err)
+				}
+				expectRouterErr(t, conn, "unknown command")
+				assertUsable(t, conn)
+			}
+		})
+	}
+}
+
+// TestRouterErrGrammarUnroutable drives the no-default-shard map: DNs
+// outside every carved root have no owner and each command path says so
+// with one parseable line.
+func TestRouterErrGrammarUnroutable(t *testing.T) {
+	// One carved shard, no default: reuse a running shard server from a
+	// full cluster but front it with a root-only map.
+	c := startSharded(t, diffScenarios[0], 220, 2, 19)
+	carved := c.m.Shards[0]
+	m := mustMap(t, []*Shard{{Name: carved.Name, Addr: carved.Addr, Roots: carved.Roots}}, nil)
+	rt := NewRouter(m)
+	addr, err := rt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("router listen: %v", err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	conn := dialTest(t, addr)
+
+	outside := "uid=nobody,ou=elsewhere,o=org0"
+	for _, tc := range []struct {
+		name string
+		send []string
+	}{
+		{"get", []string{"GET " + outside}},
+		{"search base", []string{"SEARCH (objectClass=person) base=" + outside}},
+		{"count base", []string{"COUNT person base=" + outside}},
+		{"tx add", []string{"BEGIN", "ADD " + outside}},
+		{"tx move", []string{"BEGIN", "MOVE " + outside + " -> o=org0"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for i, line := range tc.send {
+				if err := conn.send(line); err != nil {
+					t.Fatalf("send %q: %v", line, err)
+				}
+				if line == "BEGIN" && i == 0 {
+					if r, err := conn.read(); err != nil || !r.ok() {
+						t.Fatalf("BEGIN: %v / %s", err, r.term)
+					}
+				}
+			}
+			msg := expectRouterErr(t, conn, "unroutable dn")
+			if !strings.Contains(msg, "no default shard") {
+				t.Errorf("unroutable message should explain the missing default: %q", msg)
+			}
+			assertUsable(t, conn)
+		})
+	}
+
+	// Routable traffic still flows on the same session: the carved
+	// shard's own subtree answers.
+	r, err := conn.do("SEARCH (objectClass=person) base=" + carved.Roots[0])
+	if err != nil || !r.ok() {
+		t.Fatalf("carved-subtree search after unroutable errors: %v / %s %s", err, r.term, r.err)
+	}
+}
+
+// TestRouterErrGrammarShardDown pins the shard_down taxonomy: a dead
+// shard yields one ERR naming the shard and the word "unavailable", and
+// commands owned by live shards keep working on the same session.
+func TestRouterErrGrammarShardDown(t *testing.T) {
+	c := startSharded(t, diffScenarios[0], 220, 2, 23)
+	down := c.m.Shards[0]
+	c.crashShard(down.Name)
+
+	conn := dialTest(t, c.rtAddr)
+	// Drain any pooled connection still relaying the graceful shutdown.
+	for attempt := 0; attempt < 3; attempt++ {
+		r, err := conn.do("GET uid=g," + down.Roots[0])
+		if err != nil {
+			t.Fatalf("GET: %v", err)
+		}
+		if r.term != "ERR" {
+			t.Fatalf("dead shard GET: want ERR, got %s", r.term)
+		}
+		if strings.Contains(r.err, "unavailable") {
+			break
+		}
+	}
+	if err := conn.send("GET uid=g," + down.Roots[0]); err != nil {
+		t.Fatal(err)
+	}
+	msg := expectRouterErr(t, conn, "unavailable")
+	if !strings.Contains(msg, down.Name) {
+		t.Errorf("shard-down message should name the shard: %q", msg)
+	}
+	assertUsable(t, conn)
+
+	// A transaction bound to the dead shard fails at COMMIT with the
+	// same taxonomy...
+	if r, err := conn.do("BEGIN"); err != nil || !r.ok() {
+		t.Fatalf("BEGIN: %v", err)
+	}
+	if err := conn.send("DELETE uid=g,"+down.Roots[0], "COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	expectRouterErr(t, conn, "unavailable")
+	assertUsable(t, conn)
+
+	// ...while the surviving shard's subtree still serves reads and
+	// writes through the router.
+	alive := c.m.Shards[1]
+	if r, err := conn.do("SEARCH (objectClass=person) base=" + alive.Roots[0]); err != nil || !r.ok() {
+		t.Fatalf("surviving shard search: %v / %s %s", err, r.term, r.err)
+	}
+}

@@ -1,0 +1,167 @@
+package shard
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"boundschema/internal/repl"
+)
+
+// poolMaxIdle caps idle connections kept per shard; beyond it, returned
+// connections are closed.
+const poolMaxIdle = 4
+
+// dialTimeout bounds one dial attempt; ioTimeout bounds one routed
+// command round-trip so a wedged shard cannot wedge the router session
+// holding the connection.
+const (
+	dialTimeout = 2 * time.Second
+	ioTimeout   = 30 * time.Second
+)
+
+// reply is one framed protocol reply: payload lines and the
+// OK/ILLEGAL/ERR terminator — the framing rule shared with
+// internal/loadgen's client and pinned by the ERR-grammar tests.
+type reply struct {
+	lines []string
+	term  string // "OK", "ILLEGAL" or "ERR"
+	err   string // message after "ERR "
+}
+
+func (r reply) ok() bool { return r.term == "OK" }
+
+// pool hands out pooled connections to one shard, redialing with the
+// replication transport's equal-jitter backoff: shards restart, and a
+// router that redials in lockstep across sessions hammers the
+// recovering shard exactly when it is weakest.
+type pool struct {
+	shard  *Shard
+	dialer func(addr string, timeout time.Duration) (net.Conn, error)
+
+	mu     sync.Mutex
+	idle   []*shardConn
+	closed bool
+}
+
+type shardConn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func newShardConn(c net.Conn) *shardConn {
+	return &shardConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+}
+
+func newPool(sh *Shard, dialer func(string, time.Duration) (net.Conn, error)) *pool {
+	if dialer == nil {
+		dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return &pool{shard: sh, dialer: dialer}
+}
+
+// get pops an idle connection or dials a fresh one, retrying with
+// jittered backoff within one bounded budget (~1 s) before giving up —
+// the router reports the shard unavailable rather than hanging the
+// client session.
+func (p *pool) get() (*shardConn, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		if attempt > 0 {
+			time.Sleep(repl.JitterBackoff(backoff))
+			backoff = repl.NextBackoff(backoff, 400*time.Millisecond)
+		}
+		conn, err := p.dialer(p.shard.Addr, dialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return newShardConn(conn), nil
+	}
+	return nil, lastErr
+}
+
+// put returns a connection whose last reply was read cleanly. Anything
+// suspect (transport error, a transaction replay that erred early and
+// may have queued extra replies) must be discarded with c.close()
+// instead — a pooled connection with stale replies would desync the
+// next borrower.
+func (p *pool) put(c *shardConn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || len(p.idle) >= poolMaxIdle {
+		c.close()
+		return
+	}
+	p.idle = append(p.idle, c)
+}
+
+func (p *pool) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for _, c := range p.idle {
+		c.close()
+	}
+	p.idle = nil
+}
+
+func (c *shardConn) close() { c.c.Close() }
+
+// send writes lines without reading a reply (transaction bodies
+// produce none).
+func (c *shardConn) send(lines ...string) error {
+	c.c.SetDeadline(time.Now().Add(ioTimeout))
+	for _, l := range lines {
+		if _, err := c.w.WriteString(l + "\n"); err != nil {
+			return err
+		}
+	}
+	return c.w.Flush()
+}
+
+// read consumes one framed reply.
+func (c *shardConn) read() (reply, error) {
+	c.c.SetDeadline(time.Now().Add(ioTimeout))
+	var r reply
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return r, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "OK", line == "ILLEGAL":
+			r.term = line
+			return r, nil
+		case strings.HasPrefix(line, "ERR "):
+			r.term = "ERR"
+			r.err = line[len("ERR "):]
+			return r, nil
+		default:
+			r.lines = append(r.lines, line)
+		}
+	}
+}
+
+// do runs one command and reads its reply.
+func (c *shardConn) do(line string) (reply, error) {
+	if err := c.send(line); err != nil {
+		return reply{}, err
+	}
+	return c.read()
+}

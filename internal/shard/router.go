@@ -1,0 +1,866 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"boundschema/internal/server"
+)
+
+// Router speaks the server's line protocol in front of a shard map:
+// DN-prefixed commands go to the owning shard over pooled connections,
+// reads without a routable base fan out to every shard and come back
+// merged in canonical hierarchical DN order. Transactions are buffered
+// at the router and replayed to the single owning shard at COMMIT —
+// Theorem 4.1's normalized Δs are subtree-confined, so a transaction
+// that would span two shards is refused with a parseable ERR rather
+// than half-applied.
+//
+// Scope: the router targets shard primaries. Replicas behind a shard
+// still serve reads directly and failover behind a shard is the
+// operator's shard-map edit — the router adds partitioning, not
+// another consensus layer.
+type Router struct {
+	m     *Map
+	pools map[string]*pool
+	coord *coordinator
+
+	ln        net.Listener
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+	connsMu   sync.Mutex
+	conns     map[net.Conn]struct{}
+
+	errorLog *log.Logger
+	dialer   func(addr string, timeout time.Duration) (net.Conn, error)
+
+	// metrics, served by METRICS.
+	cmdsTotal   atomic.Int64
+	fanouts     atomic.Int64
+	unroutable  atomic.Int64
+	crossShard  atomic.Int64
+	shardErrors atomic.Int64
+	routedMu    sync.Mutex
+	routed      map[string]int64 // per shard name
+}
+
+// NewRouter builds a router over a validated map. Call Listen to serve.
+func NewRouter(m *Map) *Router {
+	rt := &Router{
+		m:      m,
+		pools:  make(map[string]*pool),
+		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+		routed: make(map[string]int64),
+	}
+	for _, sh := range m.All() {
+		rt.pools[sh.Name] = newPool(sh, nil)
+	}
+	rt.coord = newCoordinator(rt)
+	return rt
+}
+
+// SetErrorLog installs a logger for operational events. nil discards.
+func (rt *Router) SetErrorLog(l *log.Logger) { rt.errorLog = l }
+
+// SetDialer replaces the dialer behind every shard pool (tests thread
+// fault injectors through it). Call before Listen.
+func (rt *Router) SetDialer(d func(addr string, timeout time.Duration) (net.Conn, error)) {
+	rt.dialer = d
+	for _, sh := range rt.m.All() {
+		rt.pools[sh.Name] = newPool(sh, d)
+	}
+}
+
+// Map returns the router's shard map.
+func (rt *Router) Map() *Map { return rt.m }
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.errorLog != nil {
+		rt.errorLog.Printf(format, args...)
+	}
+}
+
+// Listen starts accepting client sessions on addr and returns the
+// bound address.
+func (rt *Router) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	rt.ln = ln
+	rt.wg.Add(1)
+	go rt.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener, closes client sessions and shard pools.
+func (rt *Router) Close() error {
+	rt.closeOnce.Do(func() { close(rt.closed) })
+	var err error
+	if rt.ln != nil {
+		err = rt.ln.Close()
+	}
+	rt.connsMu.Lock()
+	for c := range rt.conns {
+		c.Close()
+	}
+	rt.connsMu.Unlock()
+	rt.wg.Wait()
+	for _, p := range rt.pools {
+		p.close()
+	}
+	return err
+}
+
+func (rt *Router) acceptLoop() {
+	defer rt.wg.Done()
+	for {
+		conn, err := rt.ln.Accept()
+		if err != nil {
+			select {
+			case <-rt.closed:
+				return
+			default:
+			}
+			rt.logf("router: accept: %v", err)
+			select {
+			case <-time.After(5 * time.Millisecond):
+			case <-rt.closed:
+				return
+			}
+			continue
+		}
+		rt.connsMu.Lock()
+		rt.conns[conn] = struct{}{}
+		rt.connsMu.Unlock()
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			defer func() {
+				rt.connsMu.Lock()
+				delete(rt.conns, conn)
+				rt.connsMu.Unlock()
+				conn.Close()
+			}()
+			rt.serve(conn)
+		}()
+	}
+}
+
+// rsession is one client session at the router. Transactions are
+// buffered here — body lines produce no replies, exactly as on a
+// shard — and replayed on COMMIT.
+type rsession struct {
+	rt *Router
+	w  *bufio.Writer
+
+	inTx       bool
+	txShard    *Shard
+	txBody     []string
+	pendingAdd bool
+}
+
+func (rt *Router) serve(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	se := &rsession{rt: rt, w: bufio.NewWriter(conn)}
+	for {
+		select {
+		case <-rt.closed:
+			se.err("router shutting down")
+			se.w.Flush()
+			return
+		default:
+		}
+		if !sc.Scan() {
+			se.w.Flush()
+			return
+		}
+		line := strings.TrimRight(sc.Text(), "\r")
+		rt.cmdsTotal.Add(1)
+		quit := se.handle(line)
+		se.w.Flush()
+		if quit {
+			return
+		}
+	}
+}
+
+func (se *rsession) reply(lines ...string) {
+	for _, l := range lines {
+		se.w.WriteString(l)
+		se.w.WriteByte('\n')
+	}
+}
+
+func (se *rsession) ok() { se.reply("OK") }
+
+func (se *rsession) err(msg string) {
+	se.reply("ERR " + strings.ReplaceAll(msg, "\n", " | "))
+}
+
+func (se *rsession) errf(format string, args ...any) { se.err(fmt.Sprintf(format, args...)) }
+
+// relay writes a shard's reply verbatim.
+func (se *rsession) relay(r reply) {
+	se.reply(r.lines...)
+	switch r.term {
+	case "ERR":
+		se.err(r.err)
+	default:
+		se.reply(r.term)
+	}
+}
+
+func splitCommand(line string) (string, string) {
+	cmd, rest, _ := strings.Cut(line, " ")
+	return strings.ToUpper(cmd), rest
+}
+
+func (se *rsession) handle(line string) bool {
+	trimmed := strings.TrimSpace(line)
+	if se.inTx {
+		return se.handleTx(trimmed)
+	}
+	cmd, rest := splitCommand(trimmed)
+	switch cmd {
+	case "":
+		// blank line between commands
+	case "QUIT":
+		se.ok()
+		return true
+	case "SEARCH":
+		se.search(rest)
+	case "GET":
+		se.routeByDN(strings.TrimSpace(rest), trimmed)
+	case "COUNT":
+		se.count(rest)
+	case "BEGIN":
+		se.inTx = true
+		se.txShard = nil
+		se.txBody = nil
+		se.pendingAdd = false
+		se.ok()
+	case "CHECK":
+		se.check()
+	case "VERIFY":
+		se.fanVerify("VERIFY")
+	case "SNAPSHOT":
+		se.fanVerify("SNAPSHOT")
+	case "STAT":
+		se.stat()
+	case "METRICS":
+		se.metricsCmd()
+	case "SHARDMAP":
+		se.reply(se.rt.m.Render()...)
+		se.ok()
+	case "SCHEMA", "CONSISTENT":
+		sh := se.rt.anchorShard()
+		r, err := se.rt.do(sh, trimmed)
+		if err != nil {
+			se.shardDown(sh, err)
+			return false
+		}
+		se.relay(r)
+	case "QUERY":
+		se.err("QUERY is not routable; connect to a shard directly")
+	case "PROMOTE":
+		se.err("PROMOTE is not routable; promote the shard node directly")
+	default:
+		se.errf("unknown command %q", cmd)
+	}
+	return false
+}
+
+// handleTx mirrors the shard server's in-transaction grammar: body
+// lines are silent on success, any protocol error replies immediately
+// and drops the transaction.
+func (se *rsession) handleTx(line string) bool {
+	cmd, rest := splitCommand(line)
+	switch cmd {
+	case "ADD":
+		se.pendingAdd = false
+		dn := strings.TrimSpace(rest)
+		if dn == "" {
+			se.err("ADD needs a DN")
+			se.abortTx()
+			return false
+		}
+		if !se.bindTx(dn) {
+			return false
+		}
+		se.pendingAdd = true
+		se.txBody = append(se.txBody, line)
+	case "DELETE":
+		se.pendingAdd = false
+		dn := strings.TrimSpace(rest)
+		if se.rt.m.IsSpine(dn) {
+			se.rt.crossShard.Add(1)
+			se.errf("cross-shard delete: %q is a spine entry whose subtree spans shards", dn)
+			se.abortTx()
+			return false
+		}
+		if !se.bindTx(dn) {
+			return false
+		}
+		se.txBody = append(se.txBody, line)
+	case "MOVE":
+		se.pendingAdd = false
+		if !se.moveTx(line, rest) {
+			return false
+		}
+	case "COMMIT":
+		se.pendingAdd = false
+		se.commit()
+	case "ABORT":
+		se.abortTx()
+		se.ok()
+	case "":
+		// blank line inside a transaction is a no-op
+	default:
+		if !se.pendingAdd {
+			se.errf("unexpected %q inside transaction", line)
+			se.abortTx()
+			return false
+		}
+		if !strings.Contains(line, ":") {
+			se.errf("malformed attribute line %q", line)
+			se.abortTx()
+			return false
+		}
+		se.txBody = append(se.txBody, line)
+	}
+	return false
+}
+
+// bindTx resolves dn's owner and binds the transaction to it. A DN no
+// shard owns, or one owned by a different shard than the transaction
+// is already bound to, replies ERR and drops the transaction.
+func (se *rsession) bindTx(dn string) bool {
+	owner := se.rt.m.Owner(dn)
+	if owner == nil {
+		se.rt.unroutable.Add(1)
+		se.errf("unroutable dn %q: no shard owns it and the map has no default shard", dn)
+		se.abortTx()
+		return false
+	}
+	if se.txShard == nil {
+		se.txShard = owner
+		return true
+	}
+	if se.txShard != owner {
+		se.rt.crossShard.Add(1)
+		se.errf("cross-shard transaction: %q is owned by shard %s but the transaction is bound to shard %s",
+			dn, owner.Name, se.txShard.Name)
+		se.abortTx()
+		return false
+	}
+	return true
+}
+
+// moveTx validates a MOVE line: the moved subtree and its destination
+// must live on one shard, and neither may disturb the spine or the
+// shard cut itself.
+func (se *rsession) moveTx(line, rest string) bool {
+	dn, dest, ok := strings.Cut(strings.TrimSpace(rest), " -> ")
+	if !ok {
+		if d, rootOK := strings.CutSuffix(strings.TrimSpace(rest), " ->"); rootOK {
+			dn, dest, ok = d, "", true
+		}
+	}
+	if !ok {
+		se.err(`MOVE needs "<dn> -> <dest>" ("<dn> ->" moves to the forest root)`)
+		se.abortTx()
+		return false
+	}
+	dn, dest = strings.TrimSpace(dn), strings.TrimSpace(dest)
+	m := se.rt.m
+	if m.IsSpine(dn) {
+		se.rt.crossShard.Add(1)
+		se.errf("cross-shard move: %q is a spine entry whose subtree spans shards", dn)
+		se.abortTx()
+		return false
+	}
+	if sh := m.RootShard(dn); sh != nil {
+		se.rt.crossShard.Add(1)
+		se.errf("cross-shard move: %q is the root of shard %s; re-carve the map to move it", dn, sh.Name)
+		se.abortTx()
+		return false
+	}
+	rdn, _, _ := strings.Cut(dn, ",")
+	newDN := rdn
+	if dest != "" {
+		newDN = rdn + "," + dest
+	}
+	srcOwner, dstOwner := m.Owner(dn), m.Owner(newDN)
+	if srcOwner == nil || dstOwner == nil {
+		se.rt.unroutable.Add(1)
+		se.errf("unroutable dn %q: no shard owns it and the map has no default shard", dn)
+		se.abortTx()
+		return false
+	}
+	if srcOwner != dstOwner {
+		se.rt.crossShard.Add(1)
+		se.errf("cross-shard move: %q is owned by shard %s but destination %q is owned by shard %s; move within one shard or re-carve the map",
+			dn, srcOwner.Name, newDN, dstOwner.Name)
+		se.abortTx()
+		return false
+	}
+	if !se.bindTx(dn) {
+		return false
+	}
+	se.txBody = append(se.txBody, line)
+	return true
+}
+
+func (se *rsession) abortTx() {
+	se.inTx = false
+	se.txShard = nil
+	se.txBody = nil
+	se.pendingAdd = false
+}
+
+// commit replays the buffered transaction to its owning shard and
+// relays the COMMIT reply. An empty transaction commits against the
+// anchor shard (it is a no-op everywhere).
+func (se *rsession) commit() {
+	sh := se.txShard
+	if sh == nil {
+		sh = se.rt.anchorShard()
+	}
+	body := se.txBody
+	se.abortTx()
+	se.rt.noteRouted(sh)
+	p := se.rt.pools[sh.Name]
+	conn, err := p.get()
+	if err != nil {
+		se.shardDown(sh, err)
+		return
+	}
+	begin, err := conn.do("BEGIN")
+	if err != nil {
+		conn.close()
+		se.shardDown(sh, err)
+		return
+	}
+	if !begin.ok() {
+		p.put(conn)
+		se.relay(begin)
+		return
+	}
+	if err := conn.send(append(body, "COMMIT")...); err != nil {
+		conn.close()
+		se.shardDown(sh, err)
+		return
+	}
+	r, err := conn.read()
+	if err != nil {
+		conn.close()
+		se.shardDown(sh, err)
+		return
+	}
+	// An ERR reply can come from a mid-body line rather than COMMIT
+	// itself; the shard session then queued further replies for the
+	// remaining replayed lines. Discard the connection instead of
+	// resynchronizing it.
+	if r.term == "ERR" {
+		conn.close()
+	} else {
+		p.put(conn)
+	}
+	se.relay(r)
+}
+
+func (se *rsession) shardDown(sh *Shard, err error) {
+	se.rt.shardErrors.Add(1)
+	se.errf("shard %s unavailable: %v", sh.Name, err)
+}
+
+// anchorShard is the shard schema-level queries go to: the default
+// shard (it holds the real spine) or the first carved shard.
+func (rt *Router) anchorShard() *Shard {
+	if rt.m.Default != nil {
+		return rt.m.Default
+	}
+	return rt.m.Shards[0]
+}
+
+func (rt *Router) noteRouted(sh *Shard) {
+	rt.routedMu.Lock()
+	rt.routed[sh.Name]++
+	rt.routedMu.Unlock()
+}
+
+// do runs one single-reply command against a shard, retrying once on a
+// transport error with a fresh connection. ERR replies leave the
+// connection clean (one reply per command), so it is pooled again.
+func (rt *Router) do(sh *Shard, line string) (reply, error) {
+	rt.noteRouted(sh)
+	p := rt.pools[sh.Name]
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, err := p.get()
+		if err != nil {
+			return reply{}, err
+		}
+		r, err := conn.do(line)
+		if err != nil {
+			conn.close()
+			lastErr = err
+			continue
+		}
+		p.put(conn)
+		return r, nil
+	}
+	return reply{}, lastErr
+}
+
+type fanRes struct {
+	sh  *Shard
+	r   reply
+	err error
+}
+
+// fanOut runs one command against many shards concurrently, results in
+// shard order.
+func (rt *Router) fanOut(shards []*Shard, line string) []fanRes {
+	rt.fanouts.Add(1)
+	out := make([]fanRes, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			r, err := rt.do(sh, line)
+			out[i] = fanRes{sh: sh, r: r, err: err}
+		}(i, sh)
+	}
+	wg.Wait()
+	return out
+}
+
+// routeByDN relays a whole command line to the shard owning dn (GET).
+func (se *rsession) routeByDN(dn, line string) {
+	sh := se.rt.m.Owner(dn)
+	if sh == nil {
+		if hs := se.rt.m.Holders(dn); len(hs) > 0 {
+			sh = hs[0] // spine ghost on a map without a default shard
+		}
+	}
+	if sh == nil {
+		se.rt.unroutable.Add(1)
+		se.errf("unroutable dn %q: no shard owns it and the map has no default shard", dn)
+		return
+	}
+	r, err := se.rt.do(sh, line)
+	if err != nil {
+		se.shardDown(sh, err)
+		return
+	}
+	se.relay(r)
+}
+
+// search parses with the server's own grammar, routes to the owning
+// shard when the base pins one, else fans out to every shard (or the
+// holders of a spine base) and merges: duplicates removed (spine
+// ghosts exist on several shards), canonical hierarchical DN order,
+// limit applied after the merge so it is deterministic regardless of
+// which shard answers first.
+func (se *rsession) search(rest string) {
+	args, err := server.ParseSearchArgs(rest)
+	if err != nil {
+		se.err(err.Error())
+		return
+	}
+	ds := "SEARCH " + args.Filter
+	if args.HasBase {
+		ds += " base=" + args.Base
+	}
+	var targets []*Shard
+	switch {
+	case !args.HasBase:
+		targets = se.rt.m.All()
+	case se.rt.m.IsSpine(args.Base):
+		targets = se.rt.m.Holders(args.Base)
+	default:
+		sh := se.rt.m.Owner(args.Base)
+		if sh == nil {
+			se.rt.unroutable.Add(1)
+			se.errf("unroutable dn %q: no shard owns it and the map has no default shard", args.Base)
+			return
+		}
+		targets = []*Shard{sh}
+	}
+	results := se.rt.fanOut(targets, ds)
+	seen := make(map[string]bool)
+	var dns []string
+	for _, fr := range results {
+		if fr.err != nil {
+			se.shardDown(fr.sh, fr.err)
+			return
+		}
+		if fr.r.term != "OK" {
+			if len(targets) == 1 {
+				se.relay(fr.r) // e.g. base not found, byte-identical to a single node
+			} else {
+				se.errf("shard %s: %s", fr.sh.Name, fr.r.err)
+			}
+			return
+		}
+		for _, dn := range fr.r.lines {
+			if !seen[dn] {
+				seen[dn] = true
+				dns = append(dns, dn)
+			}
+		}
+	}
+	SortDNs(dns)
+	if args.Limit >= 0 && len(dns) > args.Limit {
+		dns = dns[:args.Limit]
+	}
+	se.reply(dns...)
+	se.ok()
+}
+
+// check fans CHECK out and, if every shard is locally legal, runs the
+// coordinator's cross-shard audit over the spine. Shard-local
+// violations come back prefixed with the shard name.
+func (se *rsession) check() {
+	var bad []string
+	for _, fr := range se.rt.fanOut(se.rt.m.All(), "CHECK") {
+		if fr.err != nil {
+			se.shardDown(fr.sh, fr.err)
+			return
+		}
+		switch fr.r.term {
+		case "OK":
+		case "ILLEGAL":
+			for _, l := range fr.r.lines {
+				bad = append(bad, fmt.Sprintf("# [%s] %s", fr.sh.Name, strings.TrimPrefix(l, "# ")))
+			}
+		default:
+			se.errf("shard %s: %s", fr.sh.Name, fr.r.err)
+			return
+		}
+	}
+	if len(bad) > 0 {
+		se.reply(bad...)
+		se.reply("ILLEGAL")
+		return
+	}
+	viols, err := se.rt.coord.audit()
+	if err != nil {
+		se.err(err.Error())
+		return
+	}
+	if len(viols) > 0 {
+		for _, v := range viols {
+			se.reply("# cross-shard: " + v)
+		}
+		se.reply("ILLEGAL")
+		return
+	}
+	se.ok()
+}
+
+// fanVerify fans VERIFY (or SNAPSHOT) to every shard, shard-labelling
+// the comment lines. All OK ⇒ OK.
+func (se *rsession) fanVerify(cmd string) {
+	for _, fr := range se.rt.fanOut(se.rt.m.All(), cmd) {
+		if fr.err != nil {
+			se.shardDown(fr.sh, fr.err)
+			return
+		}
+		if fr.r.term != "OK" {
+			se.errf("shard %s: %s", fr.sh.Name, fr.r.err)
+			return
+		}
+		for _, l := range fr.r.lines {
+			se.reply(fmt.Sprintf("# [%s] %s", fr.sh.Name, strings.TrimPrefix(l, "# ")))
+		}
+	}
+	se.ok()
+}
+
+// stat aggregates STAT across shards with ghost correction: spine
+// entries exist once per holder but once in the directory, so each
+// extra copy is subtracted from the entry and per-class totals.
+func (se *rsession) stat() {
+	spineClasses, err := se.rt.coord.ensureSpine()
+	if err != nil {
+		se.err(err.Error())
+		return
+	}
+	type shardStat struct {
+		sh      *Shard
+		entries int
+	}
+	var per []shardStat
+	total := 0
+	classes := map[string]int{}
+	for _, fr := range se.rt.fanOut(se.rt.m.All(), "STAT") {
+		if fr.err != nil {
+			se.shardDown(fr.sh, fr.err)
+			return
+		}
+		if fr.r.term != "OK" {
+			se.errf("shard %s: %s", fr.sh.Name, fr.r.err)
+			return
+		}
+		st := shardStat{sh: fr.sh}
+		for _, l := range fr.r.lines {
+			if v, ok := strings.CutPrefix(l, "entries: "); ok {
+				fmt.Sscanf(v, "%d", &st.entries)
+			}
+			if v, ok := strings.CutPrefix(l, "class "); ok {
+				name, count, ok2 := strings.Cut(v, ": ")
+				if ok2 {
+					n := 0
+					fmt.Sscanf(count, "%d", &n)
+					classes[name] += n
+				}
+			}
+		}
+		total += st.entries
+		per = append(per, st)
+	}
+	// Ghost correction: each spine entry is real once and ghosted on
+	// len(Holders)-1 further shards.
+	for _, s := range se.rt.m.Spine() {
+		extra := len(se.rt.m.Holders(s)) - 1
+		if extra <= 0 {
+			continue
+		}
+		total -= extra
+		for _, c := range spineClasses[s] {
+			classes[c] -= extra
+		}
+	}
+	se.reply("role: router")
+	se.reply(fmt.Sprintf("shards: %d", len(se.rt.m.All())))
+	for _, st := range per {
+		se.reply(fmt.Sprintf("shard %s: addr=%s entries=%d", st.sh.Name, st.sh.Addr, st.entries))
+	}
+	se.reply(fmt.Sprintf("entries: %d", total))
+	names := make([]string, 0, len(classes))
+	for c := range classes {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	for _, c := range names {
+		se.reply(fmt.Sprintf("class %s: %d", c, classes[c]))
+	}
+	se.ok()
+}
+
+// count serves the COUNT grammar at the router: fanned out and
+// ghost-corrected, so the answer matches what a single unsharded node
+// would say.
+func (se *rsession) count(rest string) {
+	rest = strings.TrimSpace(rest)
+	class, tail, _ := strings.Cut(rest, " ")
+	if class == "" {
+		se.err("COUNT needs a class (usage: COUNT <class> [child] [base=<dn>])")
+		return
+	}
+	tail = strings.TrimSpace(tail)
+	childOnly := false
+	if t, ok := strings.CutPrefix(tail, "child"); ok && (t == "" || strings.HasPrefix(t, " ")) {
+		childOnly = true
+		tail = strings.TrimSpace(t)
+	}
+	baseDN, hasBase := strings.CutPrefix(tail, "base=")
+	if tail != "" && !hasBase {
+		se.errf("unexpected %q after class (usage: COUNT <class> [child] [base=<dn>])", tail)
+		return
+	}
+	base := ""
+	if hasBase {
+		base = baseDN
+	}
+	n, err := se.rt.countAcrossShards(class, base, hasBase, childOnly)
+	if err != nil {
+		se.err(err.Error())
+		return
+	}
+	se.reply(fmt.Sprintf("count: %d", n))
+	se.ok()
+}
+
+// countAcrossShards evaluates one boundary count: fan the COUNT to the
+// shards that can hold matches, sum, and subtract the ghost
+// multiplicity the coordinator derives from the static map.
+func (rt *Router) countAcrossShards(class, base string, hasBase, childOnly bool) (int, error) {
+	line := "COUNT " + class
+	if childOnly {
+		line += " child"
+	}
+	var targets []*Shard
+	switch {
+	case !hasBase:
+		targets = rt.m.All()
+	case rt.m.IsSpine(base):
+		targets = rt.m.Holders(base)
+	default:
+		sh := rt.m.Owner(base)
+		if sh == nil {
+			return 0, fmt.Errorf("unroutable dn %q: no shard owns it and the map has no default shard", base)
+		}
+		targets = []*Shard{sh}
+	}
+	if hasBase {
+		line += " base=" + base
+	}
+	total := 0
+	for _, fr := range rt.fanOut(targets, line) {
+		if fr.err != nil {
+			rt.shardErrors.Add(1)
+			return 0, fmt.Errorf("shard %s unavailable: %v", fr.sh.Name, fr.err)
+		}
+		if fr.r.term != "OK" {
+			return 0, fmt.Errorf("shard %s: %s", fr.sh.Name, fr.r.err)
+		}
+		for _, l := range fr.r.lines {
+			if v, ok := strings.CutPrefix(l, "count: "); ok {
+				n := 0
+				fmt.Sscanf(v, "%d", &n)
+				total += n
+			}
+		}
+	}
+	if len(targets) > 1 {
+		corr, err := rt.coord.correction(class, base, hasBase, childOnly)
+		if err != nil {
+			return 0, err
+		}
+		total -= corr
+	}
+	return total, nil
+}
+
+func (se *rsession) metricsCmd() {
+	rt := se.rt
+	se.reply(fmt.Sprintf("router: commands=%d fanouts=%d", rt.cmdsTotal.Load(), rt.fanouts.Load()))
+	se.reply(fmt.Sprintf("refusals: unroutable=%d cross_shard=%d", rt.unroutable.Load(), rt.crossShard.Load()))
+	se.reply(fmt.Sprintf("shard_errors: %d", rt.shardErrors.Load()))
+	rt.routedMu.Lock()
+	names := make([]string, 0, len(rt.routed))
+	for n := range rt.routed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		se.reply(fmt.Sprintf("routed %s: %d", n, rt.routed[n]))
+	}
+	rt.routedMu.Unlock()
+	se.ok()
+}
